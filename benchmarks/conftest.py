@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section, prints the reproduced rows/series next to the paper's reference
+values, and asserts the qualitative *shape* (orderings, ratios, crossovers)
+rather than absolute numbers -- our substrate is a Python simulator with
+synthetic workloads, not the authors' 28 nm silicon.
+
+Benchmarks run each experiment once (``rounds=1``): the interesting output
+is the reproduced table, and several experiments are minutes-scale when
+repeated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return runner
+
+
+def print_section(title: str, body: str) -> None:
+    """Print a clearly delimited reproduction section into the bench log."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}")

@@ -1,0 +1,91 @@
+"""Ablation: the φ_th ≤ 2 design choice and the macro-count scaling.
+
+Not a paper table, but DESIGN.md calls these design choices out: capping the
+FTA threshold at 2 trades accuracy headroom for parallelism, and the speedup
+is expected to scale with the number of macros until the filter dimension is
+exhausted.
+"""
+
+from conftest import print_section
+
+from repro.arch.config import DBPIMConfig
+from repro.core.fta import FTAConfig
+from repro.sim import CycleModel
+from repro.workloads import get_workload, profile_model
+
+
+def _hybrid_speedup(config: DBPIMConfig, profile) -> float:
+    model = CycleModel(config)
+    runs = model.run_all_variants(profile)
+    return model.speedup(runs["base"], runs["hybrid"])
+
+
+def test_threshold_cap_ablation(run_once):
+    workload = get_workload("resnet18")
+
+    def sweep():
+        results = {}
+        for cap in (1, 2, 3):
+            fta_config = FTAConfig(max_threshold=cap)
+            profile = profile_model(workload, seed=0, fta_config=fta_config)
+            results[cap] = {
+                "speedup": _hybrid_speedup(DBPIMConfig(), profile),
+                "mean_error": _mean_absolute_error(profile, fta_config),
+            }
+        return results
+
+    results = run_once(sweep)
+    body = "\n".join(
+        f"max φ_th = {cap}: hybrid speedup {values['speedup']:.2f}x, "
+        f"mean |weight error| {values['mean_error']:.2f} LSB"
+        for cap, values in results.items()
+    )
+    print_section("Ablation - FTA threshold cap (ResNet-18)", body)
+
+    # A tighter cap gives more parallelism (higher speedup) but a larger
+    # approximation error; the paper's choice of 2 sits between the extremes.
+    assert results[1]["speedup"] >= results[2]["speedup"] >= results[3]["speedup"]
+    assert results[1]["mean_error"] >= results[2]["mean_error"] >= results[3]["mean_error"]
+
+
+def _mean_absolute_error(profile, fta_config) -> float:
+    """Average FTA perturbation of the profiled layers, in integer LSBs."""
+    import numpy as np
+
+    from repro.core.fta import approximate_layer
+    from repro.core.quantization import quantize_weights
+    from repro.workloads.profiles import synthesize_layer_weights
+
+    errors = []
+    for layer_profile in profile.layers[:4]:
+        float_weights = synthesize_layer_weights(
+            layer_profile.layer, profile.workload.redundancy, seed=0
+        )
+        int_weights, _ = quantize_weights(float_weights)
+        result = approximate_layer(int_weights, fta_config)
+        errors.append(float(np.abs(result.approximated - int_weights).mean()))
+    return sum(errors) / len(errors)
+
+
+def test_macro_scaling(run_once):
+    workload = get_workload("vgg19")
+    profile = profile_model(workload, seed=0)
+
+    def sweep():
+        return {
+            macros: _hybrid_speedup(DBPIMConfig(num_macros=macros), profile)
+            for macros in (2, 4, 8)
+        }
+
+    speedups = run_once(sweep)
+    body = "\n".join(
+        f"{macros} macros: hybrid speedup {value:.2f}x"
+        for macros, value in speedups.items()
+    )
+    print_section("Ablation - macro count scaling (VGG-19)", body)
+    # Relative speedup over the *matching* dense baseline stays in a stable
+    # band -- both designs scale with macro count.
+    values = list(speedups.values())
+    assert max(values) / min(values) < 1.5
+    for value in values:
+        assert value > 3.0

@@ -1,0 +1,25 @@
+"""Table 1: sparsity-exploitation comparison among SRAM-PIM designs.
+
+Paper reference: DB-PIM is the only design that removes ineffectual MACs for
+both zero weight bits and zero input bits, digitally and for unstructured
+sparsity.
+"""
+
+from conftest import print_section
+
+from repro.eval.table1_related import format_table, related_work_table
+
+
+def test_table1_related_work(run_once):
+    rows = run_once(related_work_table)
+    print_section("Table 1 - sparsity exploitation comparison", format_table(rows))
+
+    ours = rows[-1]
+    priors = rows[:-1]
+    assert ours.design.startswith("DB-PIM")
+    assert ours.sparsity_type == "bit"
+    assert ours.weight_or_input == "W+I"
+    assert ours.digital and ours.unstructured
+    # No prior work covers weight AND input bit sparsity simultaneously.
+    assert all(prior.weight_or_input != "W+I" for prior in priors)
+    assert len(rows) == 6

@@ -1,0 +1,32 @@
+"""Accuracy study: FTA impact on trained networks (the Table 2 experiment).
+
+Trains mini versions of the paper's evaluation networks on the synthetic
+dataset, applies INT8 quantization and the FTA approximation, and prints the
+accuracy of each variant -- the same pipeline the paper uses on CIFAR-100.
+
+Run with:  python examples/accuracy_study.py [model ...]
+           (default: alexnet resnet18)
+"""
+
+import sys
+
+from repro.eval.table2_accuracy import evaluate_model_accuracy, format_table
+
+
+def main() -> None:
+    models = sys.argv[1:] or ["alexnet", "resnet18"]
+    rows = []
+    for name in models:
+        print(f"training mini {name} ...")
+        row = evaluate_model_accuracy(name, epochs=8, qat_epochs=2, seed=0)
+        print(
+            f"  float {row.float_accuracy:.1%} | int8 {row.int8_accuracy:.1%} | "
+            f"fta {row.fta_accuracy:.1%} | drop {row.accuracy_drop:+.2%}"
+        )
+        rows.append(row)
+    print()
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

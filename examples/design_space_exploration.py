@@ -1,0 +1,62 @@
+"""Design-space exploration with the cycle model.
+
+Goes beyond the paper's headline numbers and uses the performance model as a
+what-if tool, the way an architect adopting DB-PIM would:
+
+* sweep the number of PIM macros,
+* sweep the FTA threshold cap (ablation of the φ_th <= 2 design choice),
+* sweep the IPU group size,
+
+reporting the hybrid speedup and energy saving over the dense baseline for a
+chosen workload.
+
+Run with:  python examples/design_space_exploration.py [model]
+           (default: resnet18)
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.arch.config import DBPIMConfig, MacroConfig
+from repro.core.fta import FTAConfig
+from repro.sim import CycleModel
+from repro.workloads import get_workload, profile_model
+
+
+def report(tag: str, config: DBPIMConfig, profile) -> None:
+    model = CycleModel(config)
+    runs = model.run_all_variants(profile)
+    base = runs["base"]
+    print(
+        f"  {tag:<28} speedup {model.speedup(base, runs['hybrid']):5.2f}x   "
+        f"energy saving {model.energy_saving(base, runs['hybrid']):6.1%}   "
+        f"U_act {runs['hybrid'].actual_utilization:6.1%}"
+    )
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "resnet18"
+    workload = get_workload(name)
+    print(f"workload: {name} ({workload.total_macs / 1e6:.1f} MMACs)")
+
+    print("\nmacro count sweep (hybrid sparsity):")
+    profile = profile_model(workload, seed=0)
+    for num_macros in (2, 4, 8):
+        report(f"{num_macros} macros", DBPIMConfig(num_macros=num_macros), profile)
+
+    print("\nFTA threshold cap sweep (ablation of the φ_th ≤ 2 choice):")
+    for cap in (1, 2, 3):
+        profile_cap = profile_model(
+            workload, seed=0, fta_config=FTAConfig(max_threshold=cap)
+        )
+        report(f"max φ_th = {cap}", DBPIMConfig(), profile_cap)
+
+    print("\nIPU group size sweep (input-bit skipping granularity):")
+    for group in (8, 16, 32):
+        profile_group = profile_model(workload, seed=0, input_group=group)
+        config = DBPIMConfig(macro=replace(MacroConfig(), input_group=group))
+        report(f"group of {group}", config, profile_group)
+
+
+if __name__ == "__main__":
+    main()

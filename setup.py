@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+A ``setup.py`` is kept alongside ``pyproject.toml`` so that editable installs
+work in fully offline environments where the ``wheel`` package may be
+unavailable (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

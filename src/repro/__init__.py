@@ -1,0 +1,27 @@
+"""DB-PIM reproduction library.
+
+Reproduction of "Towards Efficient SRAM-PIM Architecture Design by
+Exploiting Unstructured Bit-Level Sparsity" (DAC 2024): the FTA algorithm
+and dyadic-block sparsity pattern (``repro.core``), a numpy NN substrate for
+the accuracy experiments (``repro.nn``), functional and analytical models of
+the DB-PIM architecture (``repro.arch``), the offline compiler
+(``repro.compiler``), workload descriptors and sparsity profiles
+(``repro.workloads``), the cycle-level performance simulator (``repro.sim``)
+and the experiment drivers that regenerate every table and figure
+(``repro.eval``).
+"""
+
+from . import arch, compiler, core, eval, nn, sim, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "arch",
+    "compiler",
+    "core",
+    "eval",
+    "nn",
+    "sim",
+    "workloads",
+    "__version__",
+]

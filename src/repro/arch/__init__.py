@@ -1,0 +1,45 @@
+"""Architecture half of the DB-PIM co-design.
+
+Functional (bit-exact) models of the customized PIM macro, the CSD-based
+adder tree, the input pre-processing unit and the surrounding buffers / SIMD
+core, plus analytical energy and area models calibrated to the paper's
+28 nm evaluation.
+"""
+
+from .accelerator import DBPIMAccelerator, LayerExecutionResult
+from .adder_tree import CSDAdderTree, PostProcessingUnit
+from .area import AreaBreakdown, AreaLibrary, AreaModel
+from .buffers import Buffer, BufferSet
+from .config import BufferConfig, ClockConfig, DBPIMConfig, MacroConfig
+from .controller import DispatchSummary, TopController
+from .energy import EnergyBreakdown, EnergyLibrary, EnergyModel
+from .ipu import BitColumn, InputPreprocessingUnit
+from .macro import MacroStats, PIMMacro, StoredBlock
+from .simd import SIMDCore
+
+__all__ = [
+    "DBPIMAccelerator",
+    "LayerExecutionResult",
+    "CSDAdderTree",
+    "PostProcessingUnit",
+    "AreaBreakdown",
+    "AreaLibrary",
+    "AreaModel",
+    "Buffer",
+    "BufferSet",
+    "BufferConfig",
+    "ClockConfig",
+    "DBPIMConfig",
+    "MacroConfig",
+    "TopController",
+    "DispatchSummary",
+    "EnergyBreakdown",
+    "EnergyLibrary",
+    "EnergyModel",
+    "BitColumn",
+    "InputPreprocessingUnit",
+    "MacroStats",
+    "PIMMacro",
+    "StoredBlock",
+    "SIMDCore",
+]

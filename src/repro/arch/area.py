@@ -1,0 +1,109 @@
+"""Analytical area model (Table 4 of the paper).
+
+The total DB-PIM die area of 1.15453 mm^2 decomposes into the dense digital
+PIM baseline plus the logic added by the co-design: metadata register files,
+the extra post-processing units (one per concurrently-processed filter
+instead of one per stored 8-bit filter), the extra DFFs / routing inside the
+macro, and the (negligible) input-sparsity support in the IPU.
+
+The model is parameterised by unit-area constants calibrated so the default
+configuration reproduces the paper's breakdown; changing the configuration
+(e.g. more macros, larger meta RFs, more parallel filters) scales the
+corresponding components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .config import DBPIMConfig
+
+__all__ = ["AreaLibrary", "AreaBreakdown", "AreaModel"]
+
+
+@dataclass(frozen=True)
+class AreaLibrary:
+    """Unit areas in mm^2, calibrated to the paper's 28 nm results."""
+
+    #: Dense digital PIM baseline (buffers + 4 macros + SIMD + controller).
+    pim_baseline_mm2: float = 1.00809
+    #: One 6 KB metadata register file.
+    meta_rf_mm2: float = 0.07829 / 4
+    #: One extra post-processing unit (DB-PIM needs 16 per macro, the
+    #: baseline only 2, so 14 extra per macro → 56 extra in total).
+    post_processing_unit_mm2: float = 0.06259 / 56
+    #: Extra DFFs and routing per macro.
+    dff_routing_per_macro_mm2: float = 0.00550 / 4
+    #: Input-sparsity (zero-detection + leading-one) logic in the IPU.
+    input_sparsity_mm2: float = 0.00007
+
+
+@dataclass
+class AreaBreakdown:
+    """Component areas in mm^2 (the rows of Table 4)."""
+
+    pim_baseline: float
+    meta_rfs: float
+    extra_post_processing: float
+    dffs_and_routing: float
+    input_sparsity: float
+
+    @property
+    def total_mm2(self) -> float:
+        return (
+            self.pim_baseline
+            + self.meta_rfs
+            + self.extra_post_processing
+            + self.dffs_and_routing
+            + self.input_sparsity
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "PIM Baseline": self.pim_baseline,
+            "Meta-RFs": self.meta_rfs,
+            "Extra Post-processing Units": self.extra_post_processing,
+            "DFFs and Routing Resources": self.dffs_and_routing,
+            "Input Sparsity Support": self.input_sparsity,
+        }
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-component share of the total area (the Breakdown column)."""
+        total = self.total_mm2
+        return {name: value / total for name, value in self.as_dict().items()}
+
+
+@dataclass
+class AreaModel:
+    """Compute the area breakdown of a configuration."""
+
+    library: AreaLibrary = field(default_factory=AreaLibrary)
+
+    def breakdown(self, config: DBPIMConfig) -> AreaBreakdown:
+        """Area breakdown for a DB-PIM (or baseline) configuration."""
+        lib = self.library
+        base_macros = 4  # the calibration point of the library constants
+        macro_scale = config.num_macros / base_macros
+        baseline_area = lib.pim_baseline_mm2 * macro_scale
+        if not config.weight_sparsity:
+            # The dense baseline has no metadata path and only the standard
+            # two post-processing units per macro.
+            input_area = lib.input_sparsity_mm2 if config.input_sparsity else 0.0
+            return AreaBreakdown(
+                pim_baseline=baseline_area,
+                meta_rfs=0.0,
+                extra_post_processing=0.0,
+                dffs_and_routing=0.0,
+                input_sparsity=input_area,
+            )
+        dense_filters = config.macro.dense_filters_per_macro
+        sparse_filters = config.macro.sparse_filters_per_macro(1)
+        extra_ppus = max(sparse_filters - dense_filters, 0) * config.num_macros
+        return AreaBreakdown(
+            pim_baseline=baseline_area,
+            meta_rfs=lib.meta_rf_mm2 * config.buffers.num_meta_rfs,
+            extra_post_processing=lib.post_processing_unit_mm2 * extra_ppus,
+            dffs_and_routing=lib.dff_routing_per_macro_mm2 * config.num_macros,
+            input_sparsity=lib.input_sparsity_mm2 if config.input_sparsity else 0.0,
+        )

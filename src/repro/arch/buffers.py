@@ -1,0 +1,91 @@
+"""On-chip buffer and register-file models.
+
+Buffers are modelled at the level the evaluation needs: capacity checking
+and access counting (reads/writes in bytes), from which the energy model
+derives buffer access energy.  No cycle-level banking model is attempted --
+the paper's speedups come from the macro/IPU compute path, not from buffer
+bandwidth, and the same buffers are present in the dense baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .config import BufferConfig
+
+__all__ = ["Buffer", "BufferSet"]
+
+
+@dataclass
+class Buffer:
+    """A simple capacity-checked, access-counted SRAM buffer."""
+
+    name: str
+    capacity_bytes: int
+    bytes_read: int = 0
+    bytes_written: int = 0
+    peak_occupancy: int = field(default=0)
+    _occupancy: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("buffer capacity must be positive")
+
+    def write(self, num_bytes: int) -> None:
+        """Record a write of ``num_bytes`` (occupancy grows, capped checks)."""
+        if num_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        self.bytes_written += num_bytes
+        self._occupancy = min(self._occupancy + num_bytes, self.capacity_bytes)
+        self.peak_occupancy = max(self.peak_occupancy, self._occupancy)
+
+    def read(self, num_bytes: int) -> None:
+        """Record a read of ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        self.bytes_read += num_bytes
+
+    def free(self, num_bytes: int) -> None:
+        """Release occupancy after data is consumed."""
+        if num_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        self._occupancy = max(self._occupancy - num_bytes, 0)
+
+    def fits(self, num_bytes: int) -> bool:
+        """Whether a tile of ``num_bytes`` fits in the buffer at once."""
+        return num_bytes <= self.capacity_bytes
+
+    @property
+    def total_accesses_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+class BufferSet:
+    """The accelerator's buffers, built from a :class:`BufferConfig`."""
+
+    def __init__(self, config: BufferConfig) -> None:
+        self.config = config
+        self.feature = Buffer("feature_buffer", config.feature_buffer)
+        self.weight = Buffer("weight_buffer", config.weight_buffer)
+        self.meta = Buffer("meta_buffer", config.meta_buffer)
+        self.instruction = Buffer("instruction_buffer", config.instruction_buffer)
+        self.meta_rf = Buffer("meta_rf", config.meta_rf * config.num_meta_rfs)
+        self.output_rf = Buffer("output_rf", config.output_rf)
+
+    def all(self) -> Dict[str, Buffer]:
+        """Name → buffer mapping for reporting."""
+        return {
+            buffer.name: buffer
+            for buffer in (
+                self.feature,
+                self.weight,
+                self.meta,
+                self.instruction,
+                self.meta_rf,
+                self.output_rf,
+            )
+        }
+
+    def total_access_bytes(self) -> int:
+        return sum(buffer.total_accesses_bytes for buffer in self.all().values())

@@ -1,0 +1,174 @@
+"""Hardware configuration of the DB-PIM accelerator and its dense baseline.
+
+The numbers default to the paper's evaluated configuration (Section 4.1):
+28 nm, 500 MHz, four 16 Kb PIM macros, a 128 KB feature buffer, 32 KB weight
+buffer, 96 KB meta buffer, 16 KB instruction buffer and four 6 KB metadata
+register files.
+
+The geometry model of one macro follows Fig. 3 / Fig. 5:
+
+* a macro contains 16 *compartments*;
+* each compartment is a 64 x 16 array of 6T cells plus its local processing
+  units, i.e. 64 rows (one row per input element of the current input-channel
+  window) and 16 cell columns;
+* in the **dense baseline** a weight occupies 8 binary cells of a row, so a
+  row holds 2 filters (the "two 8-bit precision filters" of Section 4.4);
+* in **DB-PIM** a weight occupies ``φ_th`` dyadic-block cells, so a row holds
+  ``16 / φ_th`` filters -- 16 filters for ``φ_th = 1`` and 8 for ``φ_th = 2``.
+
+Inputs stream bit-serially (8 bit positions per pass); the IPU can skip bit
+positions whose 16-input broadcast group is entirely zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = ["MacroConfig", "BufferConfig", "ClockConfig", "DBPIMConfig"]
+
+
+@dataclass(frozen=True)
+class MacroConfig:
+    """Geometry of one PIM macro.
+
+    Attributes:
+        compartments: number of compartments per macro.
+        rows: input-element rows per compartment.
+        columns: 6T cell columns per row.
+        weight_bits: bit width of a dense (baseline) weight.
+        input_bits: bit width of the bit-serial input stream.
+        input_group: number of inputs sharing one IPU zero-detection group.
+    """
+
+    compartments: int = 16
+    rows: int = 64
+    columns: int = 16
+    weight_bits: int = 8
+    input_bits: int = 8
+    input_group: int = 16
+
+    def __post_init__(self) -> None:
+        if min(self.compartments, self.rows, self.columns) <= 0:
+            raise ValueError("macro geometry must be positive")
+        if self.columns % self.weight_bits != 0:
+            raise ValueError("columns must be a multiple of weight_bits")
+
+    @property
+    def cells(self) -> int:
+        """Total 6T cells in the macro."""
+        return self.compartments * self.rows * self.columns
+
+    @property
+    def size_kilobits(self) -> float:
+        """Macro storage capacity in Kb (one bit per 6T cell)."""
+        return self.cells / 1024
+
+    @property
+    def dense_filters_per_macro(self) -> int:
+        """Filters processed in parallel by the dense baseline (= 2)."""
+        return self.columns // self.weight_bits
+
+    def sparse_filters_per_macro(self, threshold: int) -> int:
+        """Filters processed in parallel by DB-PIM for a given ``φ_th``."""
+        if threshold <= 0:
+            # An all-zero filter needs no compute; treat it like φ_th = 1 for
+            # mapping purposes (it still occupies a filter slot).
+            threshold = 1
+        return max(self.columns // threshold, 1)
+
+    @property
+    def input_positions(self) -> int:
+        """Input elements consumed per macro pass (rows x compartments)."""
+        return self.rows * self.compartments
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """On-chip buffer capacities in bytes (paper Section 4.1)."""
+
+    feature_buffer: int = 128 * 1024
+    weight_buffer: int = 32 * 1024
+    meta_buffer: int = 96 * 1024
+    instruction_buffer: int = 16 * 1024
+    meta_rf: int = 6 * 1024
+    output_rf: int = 2 * 1024 // 8
+    num_meta_rfs: int = 4
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value <= 0:
+                raise ValueError(f"buffer size {name} must be positive")
+
+    @property
+    def total_sram_bytes(self) -> int:
+        """All buffer + RF capacity (the "SRAM Size" row of Table 3)."""
+        return (
+            self.feature_buffer
+            + self.weight_buffer
+            + self.meta_buffer
+            + self.instruction_buffer
+            + self.meta_rf * self.num_meta_rfs
+            + self.output_rf
+        )
+
+
+@dataclass(frozen=True)
+class ClockConfig:
+    """Operating point of the accelerator."""
+
+    frequency_mhz: float = 500.0
+    supply_voltage: float = 0.9
+    voltage_range: Tuple[float, float] = (0.72, 0.90)
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0 or self.supply_voltage <= 0:
+            raise ValueError("clock parameters must be positive")
+
+    @property
+    def cycle_time_ns(self) -> float:
+        return 1000.0 / self.frequency_mhz
+
+
+@dataclass(frozen=True)
+class DBPIMConfig:
+    """Full accelerator configuration.
+
+    Attributes:
+        macro: per-macro geometry.
+        buffers: buffer capacities.
+        clock: operating point.
+        num_macros: PIM macros in the PIM core (4 in the paper).
+        weight_sparsity: enable the dyadic-block weight-sparsity support.
+        input_sparsity: enable the IPU block-wise input-bit skipping.
+        technology_nm: process node (28 nm).
+    """
+
+    macro: MacroConfig = field(default_factory=MacroConfig)
+    buffers: BufferConfig = field(default_factory=BufferConfig)
+    clock: ClockConfig = field(default_factory=ClockConfig)
+    num_macros: int = 4
+    weight_sparsity: bool = True
+    input_sparsity: bool = True
+    technology_nm: int = 28
+
+    def __post_init__(self) -> None:
+        if self.num_macros <= 0:
+            raise ValueError("num_macros must be positive")
+
+    @property
+    def pim_size_kilobytes(self) -> float:
+        """Total PIM macro capacity in KB (the "PIM Size" row of Table 3)."""
+        return self.num_macros * self.macro.size_kilobits / 8
+
+    def dense_baseline(self) -> "DBPIMConfig":
+        """The dense digital PIM baseline: identical hardware, no sparsity."""
+        return replace(self, weight_sparsity=False, input_sparsity=False)
+
+    def weight_sparsity_only(self) -> "DBPIMConfig":
+        """DB-PIM with the IPU's input-bit skipping disabled."""
+        return replace(self, weight_sparsity=True, input_sparsity=False)
+
+    def input_sparsity_only(self) -> "DBPIMConfig":
+        """Baseline macro mapping but with IPU input-bit skipping enabled."""
+        return replace(self, weight_sparsity=False, input_sparsity=True)

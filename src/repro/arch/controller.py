@@ -1,0 +1,103 @@
+"""Top controller: executes compiled instruction streams.
+
+The top controller of the paper fetches instructions from the instruction
+buffer and dispatches control signals to the IPU, the PIM core and the SIMD
+core.  This functional model consumes a :class:`repro.compiler.isa.Program`,
+checks it against the instruction buffer capacity, tallies the work each
+unit is asked to perform and produces the cycle estimate implied by the
+stream -- the link between the compiler's static schedule and the
+cycle-level performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..compiler.isa import Opcode, Program
+from .config import DBPIMConfig
+
+__all__ = ["DispatchSummary", "TopController"]
+
+
+@dataclass
+class DispatchSummary:
+    """Work dispatched while executing one program."""
+
+    instructions: int = 0
+    broadcast_cycles: int = 0
+    macro_invocations: int = 0
+    weight_loads: int = 0
+    metadata_loads: int = 0
+    feature_loads: int = 0
+    accumulations: int = 0
+    simd_elements: int = 0
+    write_back_elements: int = 0
+    opcode_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def estimated_compute_cycles(self) -> int:
+        """Cycles implied by the broadcast instructions alone."""
+        return self.broadcast_cycles
+
+
+class TopController:
+    """Functional dispatcher for compiled layer programs."""
+
+    def __init__(self, config: Optional[DBPIMConfig] = None) -> None:
+        self.config = config or DBPIMConfig()
+
+    def check_program(self, program: Program) -> None:
+        """Validate that a program fits the instruction buffer.
+
+        Raises:
+            ValueError: if the encoded program exceeds the buffer capacity.
+        """
+        size = program.size_bytes()
+        capacity = self.config.buffers.instruction_buffer
+        if size > capacity:
+            raise ValueError(
+                f"program needs {size} bytes but the instruction buffer "
+                f"holds {capacity}"
+            )
+
+    def execute(self, program: Program) -> DispatchSummary:
+        """Walk a program and accumulate the dispatched work.
+
+        ``repeats`` operands (used by the code generator to avoid unrolling
+        every output position) multiply the work of the instruction they
+        annotate.
+        """
+        self.check_program(program)
+        summary = DispatchSummary()
+        for instruction in program:
+            repeats_operand = instruction.operand("repeats")
+            repeats = 1 if repeats_operand is None else int(repeats_operand)
+            if repeats < 1:
+                raise ValueError("instruction repeat counts must be >= 1")
+            summary.instructions += 1
+            name = instruction.opcode.value
+            summary.opcode_counts[name] = summary.opcode_counts.get(name, 0) + 1
+            if instruction.opcode is Opcode.LOAD_WEIGHTS:
+                summary.weight_loads += 1
+            elif instruction.opcode is Opcode.LOAD_METADATA:
+                summary.metadata_loads += 1
+            elif instruction.opcode is Opcode.LOAD_FEATURES:
+                summary.feature_loads += repeats
+            elif instruction.opcode is Opcode.BROADCAST:
+                cycles = int(instruction.operand("cycles", 0) or 0)
+                if cycles < 0:
+                    raise ValueError("broadcast cycle counts must be non-negative")
+                summary.broadcast_cycles += cycles * repeats
+            elif instruction.opcode is Opcode.MACRO_COMPUTE:
+                summary.macro_invocations += repeats
+            elif instruction.opcode is Opcode.ACCUMULATE:
+                summary.accumulations += repeats
+            elif instruction.opcode is Opcode.SIMD_OP:
+                summary.simd_elements += int(instruction.operand("elements", 0) or 0)
+            elif instruction.opcode is Opcode.WRITE_BACK:
+                summary.write_back_elements += int(
+                    instruction.operand("elements", 0) or 0
+                )
+            # BARRIER instructions only order the stream; nothing to tally.
+        return summary

@@ -1,0 +1,65 @@
+"""SIMD core for element-wise post-operations.
+
+The PIM core only produces convolution / matrix-multiply partial sums; all
+remaining element-wise work (bias addition, requantization scaling, ReLU,
+residual addition, pooling support) runs on a small SIMD core.  The model
+here is functional plus an operation counter so the energy model can charge
+for the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SIMDCore"]
+
+
+@dataclass
+class SIMDCore:
+    """Element-wise vector unit with operation accounting."""
+
+    lanes: int = 16
+    operations: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0:
+            raise ValueError("lanes must be positive")
+
+    def _count(self, elements: int) -> None:
+        self.operations += int(elements)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise addition (bias / residual add)."""
+        result = np.asarray(a) + np.asarray(b)
+        self._count(result.size)
+        return result
+
+    def multiply(self, a: np.ndarray, b) -> np.ndarray:
+        """Element-wise or scalar multiplication (requantization scaling)."""
+        result = np.asarray(a) * b
+        self._count(result.size)
+        return result
+
+    def relu(self, a: np.ndarray) -> np.ndarray:
+        """Rectified linear unit."""
+        result = np.maximum(np.asarray(a), 0)
+        self._count(result.size)
+        return result
+
+    def requantize(
+        self, accumulators: np.ndarray, scale: float, num_bits: int = 8
+    ) -> np.ndarray:
+        """Scale INT32 accumulators back to the unsigned activation grid."""
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        high = (1 << num_bits) - 1
+        scaled = np.clip(np.round(np.asarray(accumulators) * scale), 0, high)
+        self._count(scaled.size)
+        return scaled.astype(np.int64)
+
+    @property
+    def cycles(self) -> int:
+        """Cycles consumed assuming one operation per lane per cycle."""
+        return -(-self.operations // self.lanes)

@@ -1,0 +1,25 @@
+"""Offline compilation: weight transformation, dataflow mapping, codegen."""
+
+from .codegen import generate_layer_program, generate_program_from_mapping
+from .isa import Instruction, Opcode, Program
+from .mapping import LayerMapping, map_layer
+from .weight_transform import (
+    CompressedFilter,
+    CompressedLayer,
+    compress_filter,
+    compress_layer,
+)
+
+__all__ = [
+    "CompressedFilter",
+    "CompressedLayer",
+    "compress_filter",
+    "compress_layer",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "LayerMapping",
+    "map_layer",
+    "generate_layer_program",
+    "generate_program_from_mapping",
+]

@@ -1,0 +1,80 @@
+"""Instruction generation from a layer mapping.
+
+The code generator walks the static mapping of a layer and emits the
+instruction stream the top controller would dispatch: weight/metadata loads
+per filter iteration, feature loads and broadcast/compute/accumulate steps
+per pass, and a final write-back per output tile.  The stream is coarse
+grained (one instruction per architectural step) but is sufficient to check
+instruction-buffer sizing and gives the examples something concrete to show.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch.config import DBPIMConfig
+from ..workloads.layers import LayerShape
+from .isa import Opcode, Program
+from .mapping import LayerMapping, map_layer
+
+__all__ = ["generate_layer_program", "generate_program_from_mapping"]
+
+
+def generate_program_from_mapping(mapping: LayerMapping) -> Program:
+    """Emit the instruction stream of one mapped layer.
+
+    To keep programs small for very large layers, per-pass instructions are
+    emitted once per (filter iteration, input tile) with a repeat count for
+    the output positions rather than unrolling every output pixel.
+    """
+    program = Program()
+    layer = mapping.layer
+    for filter_iteration in range(mapping.filter_iterations):
+        program.append(
+            Opcode.LOAD_WEIGHTS,
+            layer_filters=layer.out_channels,
+            iteration=filter_iteration,
+        )
+        program.append(Opcode.LOAD_METADATA, iteration=filter_iteration)
+        for input_tile in range(mapping.input_tiles):
+            program.append(
+                Opcode.LOAD_FEATURES,
+                tile=input_tile,
+                repeats=mapping.output_positions,
+            )
+            program.append(
+                Opcode.BROADCAST,
+                cycles=int(round(mapping.cycles_per_pass)),
+                repeats=mapping.output_positions,
+            )
+            program.append(
+                Opcode.MACRO_COMPUTE,
+                filters=mapping.filters_per_pass,
+                repeats=mapping.output_positions,
+            )
+            program.append(
+                Opcode.ACCUMULATE,
+                repeats=mapping.output_positions,
+            )
+        program.append(Opcode.BARRIER, iteration=filter_iteration)
+    program.append(Opcode.SIMD_OP, elements=layer.out_channels * layer.output_positions)
+    program.append(
+        Opcode.WRITE_BACK, elements=layer.out_channels * layer.output_positions
+    )
+    return program
+
+
+def generate_layer_program(
+    layer: LayerShape,
+    config: Optional[DBPIMConfig] = None,
+    thresholds=None,
+    input_active_columns: Optional[float] = None,
+) -> Program:
+    """Map a layer and generate its program in one step."""
+    mapping = map_layer(
+        layer,
+        config=config,
+        thresholds=thresholds,
+        input_active_columns=input_active_columns,
+    )
+    return generate_program_from_mapping(mapping)

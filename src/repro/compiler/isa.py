@@ -1,0 +1,84 @@
+"""Minimal instruction set of the DB-PIM accelerator.
+
+The paper mentions an instruction buffer, a top controller dispatching
+control signals, and an offline instruction-generation step in the compiler.
+This module defines the small ISA the code generator targets and the
+containers the (functional) controller consumes.  The ISA is deliberately
+coarse-grained: one instruction per architectural step of a tile, which is
+the granularity the cycle model charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Opcode", "Instruction", "Program"]
+
+
+class Opcode(Enum):
+    """Architectural operations of the accelerator."""
+
+    LOAD_WEIGHTS = "load_weights"
+    LOAD_METADATA = "load_metadata"
+    LOAD_FEATURES = "load_features"
+    BROADCAST = "broadcast"
+    MACRO_COMPUTE = "macro_compute"
+    ACCUMULATE = "accumulate"
+    SIMD_OP = "simd_op"
+    WRITE_BACK = "write_back"
+    BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction with its operand fields.
+
+    Attributes:
+        opcode: the architectural operation.
+        operands: free-form operand dictionary (tile ids, sizes, macro ids).
+    """
+
+    opcode: Opcode
+    operands: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.opcode, Opcode):
+            raise TypeError("opcode must be an Opcode")
+
+    def operand(self, name: str, default: Optional[int] = None) -> Optional[int]:
+        """Fetch an operand by name."""
+        return self.operands.get(name, default)
+
+
+@dataclass
+class Program:
+    """An ordered instruction stream for one layer (or one model)."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, opcode: Opcode, **operands: int) -> Instruction:
+        """Append an instruction and return it."""
+        instruction = Instruction(opcode=opcode, operands=dict(operands))
+        self.instructions.append(instruction)
+        return instruction
+
+    def extend(self, other: "Program") -> None:
+        self.instructions.extend(other.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def count(self, opcode: Opcode) -> int:
+        """Number of instructions with the given opcode."""
+        return sum(1 for instruction in self.instructions if instruction.opcode is opcode)
+
+    def size_bytes(self, bytes_per_instruction: int = 8) -> int:
+        """Encoded size, for checking against the instruction buffer."""
+        if bytes_per_instruction <= 0:
+            raise ValueError("bytes_per_instruction must be positive")
+        return len(self.instructions) * bytes_per_instruction

@@ -1,0 +1,153 @@
+"""Dataflow mapping: tiling NN layers onto the PIM macros.
+
+The mapper answers, for one layer and one hardware configuration, the
+questions the cycle model and code generator need:
+
+* how many filters are processed in parallel (which depends on the FTA
+  thresholds of the layer's filters and on whether weight sparsity is
+  enabled at all),
+* how many weight tiles / input-channel tiles / output positions a layer
+  decomposes into, and
+* how many bit-serial broadcast cycles one pass costs (which depends on the
+  measured input column sparsity when the IPU's skipping is enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..arch.config import DBPIMConfig
+from ..workloads.layers import LayerShape
+
+__all__ = ["LayerMapping", "map_layer"]
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """Static mapping of one layer onto the accelerator.
+
+    Attributes:
+        layer: the layer being mapped.
+        filters_per_pass: filters processed concurrently across all macros.
+        filter_iterations: outer iterations over the layer's filters.
+        input_tiles: tiles along the reduction (Cin x K x K) dimension.
+        output_positions: output pixels (1 for a fully connected layer).
+        cycles_per_pass: bit-serial broadcast cycles of one pass.
+        weights_per_pass_cells: 6T cells driven per broadcast cycle.
+    """
+
+    layer: LayerShape
+    filters_per_pass: int
+    filter_iterations: int
+    input_tiles: int
+    output_positions: int
+    cycles_per_pass: float
+    weights_per_pass_cells: int
+
+    @property
+    def total_passes(self) -> int:
+        """Macro passes needed for the whole layer."""
+        return self.filter_iterations * self.input_tiles * self.output_positions
+
+    @property
+    def total_cycles(self) -> float:
+        """Broadcast cycles for the whole layer."""
+        return self.total_passes * self.cycles_per_pass
+
+    @property
+    def total_cell_activations(self) -> float:
+        return self.total_cycles * self.weights_per_pass_cells
+
+
+def _filter_iterations_sparse(
+    thresholds: np.ndarray, config: DBPIMConfig
+) -> tuple:
+    """Iterations and average parallel filters when grouping by threshold."""
+    macro = config.macro
+    if thresholds.size and (thresholds.min() < 0 or thresholds.max() > 4):
+        raise ValueError("FTA thresholds must lie in 0..4")
+    iterations = 0
+    weighted_parallel = 0.0
+    total = 0
+    for threshold in np.unique(thresholds):
+        count = int((thresholds == threshold).sum())
+        per_macro = macro.sparse_filters_per_macro(int(threshold))
+        per_pass = per_macro * config.num_macros
+        iterations += ceil(count / per_pass)
+        weighted_parallel += per_pass * count
+        total += count
+    if total == 0:
+        return 1, macro.sparse_filters_per_macro(1) * config.num_macros
+    return max(iterations, 1), weighted_parallel / total
+
+
+def map_layer(
+    layer: LayerShape,
+    config: Optional[DBPIMConfig] = None,
+    thresholds: Optional[Sequence[int]] = None,
+    input_active_columns: Optional[float] = None,
+) -> LayerMapping:
+    """Map one layer onto the accelerator.
+
+    Args:
+        layer: layer shape descriptor.
+        config: hardware configuration (DB-PIM default).
+        thresholds: per-filter FTA thresholds; required when weight sparsity
+            is enabled (ignored otherwise).
+        input_active_columns: measured average number of non-zero input bit
+            columns per IPU group; required when input sparsity is enabled.
+
+    Returns:
+        A :class:`LayerMapping` with the static tiling decisions.
+    """
+    config = config or DBPIMConfig()
+    macro = config.macro
+
+    if config.weight_sparsity:
+        if thresholds is None:
+            raise ValueError("weight sparsity requires per-filter thresholds")
+        thresholds = np.asarray(thresholds, dtype=np.int64)
+        if thresholds.size != layer.out_channels:
+            raise ValueError(
+                f"expected {layer.out_channels} thresholds, got {thresholds.size}"
+            )
+        filter_iterations, filters_per_pass = _filter_iterations_sparse(
+            thresholds, config
+        )
+        # Whatever the threshold, the whole 16-cell row is driven each cycle.
+        cells_per_row = macro.columns
+    else:
+        per_pass = macro.dense_filters_per_macro * config.num_macros
+        filter_iterations = ceil(layer.out_channels / per_pass)
+        filters_per_pass = per_pass
+        cells_per_row = macro.columns
+
+    if config.input_sparsity:
+        if input_active_columns is None:
+            raise ValueError(
+                "input sparsity requires the measured active-column count"
+            )
+        cycles_per_pass = float(
+            np.clip(input_active_columns, 0.0, macro.input_bits)
+        )
+    else:
+        cycles_per_pass = float(macro.input_bits)
+
+    reduction = layer.reduction_size
+    rows_used = min(reduction, macro.rows)
+    input_tiles = ceil(reduction / macro.rows)
+    weights_per_pass_cells = cells_per_row * rows_used * config.num_macros
+
+    return LayerMapping(
+        layer=layer,
+        filters_per_pass=int(filters_per_pass),
+        filter_iterations=int(filter_iterations),
+        input_tiles=int(input_tiles),
+        output_positions=int(layer.output_positions),
+        cycles_per_pass=cycles_per_pass,
+        weights_per_pass_cells=int(weights_per_pass_cells),
+    )

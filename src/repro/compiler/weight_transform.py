@@ -1,0 +1,190 @@
+"""Offline weight transformation: FTA weights → values + metadata streams.
+
+The compilation phase of the paper (Fig. 3 ①) converts every FTA-approximated
+filter into the three streams the hardware consumes:
+
+* **values**  -- the magnitude bit pair of each Comp. Pattern block, packed
+  one block per 6T cell (this is what the weight buffer holds),
+* **signs**   -- one bit per block (+1 / -1),
+* **indices** -- two bits per block giving the dyadic-block position 0..3.
+
+Zero Pattern blocks are discarded.  Because the FTA algorithm bounds every
+weight of a filter to at most ``φ_th`` blocks, a filter compresses into a
+fixed-size record: ``φ_th`` block slots per weight, padded with explicit
+zero slots when a weight needs fewer blocks (the padding is what keeps the
+actual utilisation slightly below 100%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.csd import DEFAULT_WIDTH
+from ..core.dyadic_block import BLOCK_SIZE, nonzero_blocks_of_value
+from ..core.fta import FTAConfig, approximate_layer
+
+__all__ = ["CompressedFilter", "CompressedLayer", "compress_filter", "compress_layer"]
+
+
+@dataclass
+class CompressedFilter:
+    """Hardware-ready representation of one FTA-approximated filter.
+
+    Attributes:
+        threshold: the filter's ``φ_th`` (block slots allocated per weight).
+        weights: the approximated integer weights (for verification).
+        block_valid: ``(num_weights, slots)`` 0/1 array; 1 marks a slot that
+            holds a real Comp. Pattern block, 0 marks padding.
+        block_signs: ``(num_weights, slots)`` entries in {-1, +1} (padding
+            slots carry +1).
+        block_indices: ``(num_weights, slots)`` dyadic-block indices 0..3
+            (padding slots carry 0).
+        block_high: ``(num_weights, slots)`` 1 when the non-zero digit sits
+            in the high position of its block.
+    """
+
+    threshold: int
+    weights: np.ndarray
+    block_valid: np.ndarray
+    block_signs: np.ndarray
+    block_indices: np.ndarray
+    block_high: np.ndarray
+
+    @property
+    def num_weights(self) -> int:
+        return int(self.weights.size)
+
+    @property
+    def slots(self) -> int:
+        """Block slots allocated per weight (= max(φ_th, 1))."""
+        return int(self.block_valid.shape[1]) if self.block_valid.size else 0
+
+    @property
+    def stored_blocks(self) -> int:
+        """Number of real (non-padding) blocks stored."""
+        return int(self.block_valid.sum())
+
+    @property
+    def storage_utilization(self) -> float:
+        """Fraction of allocated block slots carrying a real block."""
+        allocated = self.num_weights * self.slots
+        return self.stored_blocks / allocated if allocated else 0.0
+
+    def value_bytes(self) -> int:
+        """Bytes of packed value storage (one bit pair = 2 bits per slot)."""
+        return -(-self.num_weights * self.slots * BLOCK_SIZE // 8)
+
+    def metadata_bytes(self) -> int:
+        """Bytes of sign+index metadata (1 + 2 bits per slot, packed)."""
+        return -(-self.num_weights * self.slots * 3 // 8)
+
+    def reconstruct(self) -> np.ndarray:
+        """Rebuild the integer weights from the metadata streams."""
+        signs = np.where(self.block_valid == 1, self.block_signs, 0)
+        positions = BLOCK_SIZE * self.block_indices + self.block_high
+        return (signs * (1 << positions)).sum(axis=1)
+
+
+@dataclass
+class CompressedLayer:
+    """All filters of one layer in compressed form."""
+
+    filters: List[CompressedFilter]
+
+    @property
+    def thresholds(self) -> np.ndarray:
+        return np.asarray([f.threshold for f in self.filters], dtype=np.int64)
+
+    @property
+    def total_value_bytes(self) -> int:
+        return sum(f.value_bytes() for f in self.filters)
+
+    @property
+    def total_metadata_bytes(self) -> int:
+        return sum(f.metadata_bytes() for f in self.filters)
+
+    @property
+    def storage_utilization(self) -> float:
+        """Block-slot utilisation over the whole layer."""
+        allocated = sum(f.num_weights * f.slots for f in self.filters)
+        stored = sum(f.stored_blocks for f in self.filters)
+        return stored / allocated if allocated else 0.0
+
+    def dense_value_bytes(self, weight_bits: int = DEFAULT_WIDTH) -> int:
+        """Bytes the same layer occupies in the dense baseline."""
+        weights = sum(f.num_weights for f in self.filters)
+        return -(-weights * weight_bits // 8)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense bytes / (compressed value + metadata bytes)."""
+        compressed = self.total_value_bytes + self.total_metadata_bytes
+        if compressed == 0:
+            return float("inf")
+        return self.dense_value_bytes() / compressed
+
+
+def compress_filter(
+    weights: np.ndarray, threshold: int, width: int = DEFAULT_WIDTH
+) -> CompressedFilter:
+    """Compress one FTA-approximated filter into value/metadata streams.
+
+    Args:
+        weights: integer weights already snapped to ``T(threshold)``.
+        threshold: the filter's ``φ_th``.
+
+    Raises:
+        ValueError: if any weight needs more than ``threshold`` blocks.
+    """
+    weights = np.asarray(weights, dtype=np.int64).reshape(-1)
+    slots = max(threshold, 1)
+    valid = np.zeros((weights.size, slots), dtype=np.int64)
+    signs = np.ones((weights.size, slots), dtype=np.int64)
+    indices = np.zeros((weights.size, slots), dtype=np.int64)
+    high = np.zeros((weights.size, slots), dtype=np.int64)
+    for weight_index, value in enumerate(weights):
+        blocked = nonzero_blocks_of_value(int(value), width)
+        if blocked.phi > slots:
+            raise ValueError(
+                f"weight {value} needs {blocked.phi} blocks but the filter "
+                f"threshold allocates only {slots}; run FTA first"
+            )
+        for slot, block in enumerate(blocked.blocks):
+            valid[weight_index, slot] = 1
+            signs[weight_index, slot] = block.sign
+            indices[weight_index, slot] = block.index
+            high[weight_index, slot] = 1 if block.hi_position else 0
+    return CompressedFilter(
+        threshold=threshold,
+        weights=weights.copy(),
+        block_valid=valid,
+        block_signs=signs,
+        block_indices=indices,
+        block_high=high,
+    )
+
+
+def compress_layer(
+    weights: np.ndarray,
+    fta_config: Optional[FTAConfig] = None,
+    already_approximated: bool = False,
+) -> CompressedLayer:
+    """Run FTA (unless already done) and compress every filter of a layer.
+
+    Args:
+        weights: filter-major integer weight matrix ``(filters, elements)``.
+        fta_config: FTA configuration.
+        already_approximated: skip the FTA pass and only derive thresholds
+            (useful when the training pipeline already produced FTA weights).
+    """
+    weights = np.asarray(weights, dtype=np.int64)
+    result = approximate_layer(weights, fta_config)
+    source = weights if already_approximated else result.approximated
+    filters = [
+        compress_filter(source[index], int(result.thresholds[index]))
+        for index in range(source.shape[0])
+    ]
+    return CompressedLayer(filters=filters)

@@ -1,0 +1,228 @@
+"""Dyadic Block (DB) bit-level sparsity pattern.
+
+The dyadic block is the fundamental unit of the DB-PIM co-design.  An 8-digit
+CSD word is split into four 2-digit blocks (``DB #0`` holds the two least
+significant digits).  Because CSD forbids adjacent non-zero digits, every
+block contains *at most one* non-zero digit, so each block is one of:
+
+* the **Zero Pattern** ``00`` -- carries no information and is discarded, or
+* a **Complementary (Comp.) Pattern** -- ``01``, ``10``, ``0(-1)`` or
+  ``(-1)0`` -- which can be packed into the cross-coupled ``Q`` / ``Q̄`` nodes
+  of a single 6T SRAM cell.
+
+A Comp. Pattern block is fully described by three pieces of metadata:
+
+* ``index``  -- which of the four block positions it occupies (0..3),
+* ``sign``   -- whether the non-zero digit is ``+1`` or ``-1``,
+* ``hi``     -- whether the non-zero digit sits in the high (odd) or low
+  (even) digit of the block.
+
+``(index, hi)`` together recover the absolute bit position
+``2 * index + hi`` and therefore the power-of-two magnitude of the block;
+``sign`` recovers its polarity.  This module provides the decomposition,
+metadata extraction and exact reconstruction used by both the FTA algorithm
+and the architecture/compiler layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .csd import DEFAULT_WIDTH, from_csd, is_valid_csd, to_csd
+
+__all__ = [
+    "BLOCK_SIZE",
+    "DyadicBlock",
+    "BlockedWeight",
+    "split_blocks",
+    "blocks_of_value",
+    "nonzero_blocks_of_value",
+    "reconstruct_value",
+    "block_count",
+]
+
+#: Digits per dyadic block.  Fixed by the paper's encoding (pairs of bits).
+BLOCK_SIZE = 2
+
+
+def block_count(width: int = DEFAULT_WIDTH) -> int:
+    """Number of dyadic blocks in a CSD word of ``width`` digits."""
+    if width % BLOCK_SIZE != 0:
+        raise ValueError(f"width {width} is not a multiple of {BLOCK_SIZE}")
+    return width // BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class DyadicBlock:
+    """A single dyadic block together with its position metadata.
+
+    Attributes:
+        index: block position within the weight, 0 = least significant pair.
+        low: digit at the even (lower) position of the pair, in {-1, 0, 1}.
+        high: digit at the odd (higher) position of the pair, in {-1, 0, 1}.
+    """
+
+    index: int
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low not in (-1, 0, 1) or self.high not in (-1, 0, 1):
+            raise ValueError("dyadic block digits must be in {-1, 0, 1}")
+        if self.low != 0 and self.high != 0:
+            raise ValueError(
+                "a dyadic block of a CSD word cannot have two non-zero digits"
+            )
+        if self.index < 0:
+            raise ValueError("block index must be non-negative")
+
+    @property
+    def is_zero(self) -> bool:
+        """True for the Zero Pattern block ``00``."""
+        return self.low == 0 and self.high == 0
+
+    @property
+    def is_comp(self) -> bool:
+        """True for any Complementary Pattern block (exactly one non-zero)."""
+        return not self.is_zero
+
+    @property
+    def sign(self) -> int:
+        """Sign of the non-zero digit; 0 for the Zero Pattern block."""
+        return int(self.low + self.high)
+
+    @property
+    def hi_position(self) -> bool:
+        """True when the non-zero digit occupies the high digit of the pair."""
+        return self.high != 0
+
+    @property
+    def bit_position(self) -> int:
+        """Absolute digit position of the non-zero digit within the weight."""
+        if self.is_zero:
+            raise ValueError("Zero Pattern block has no non-zero digit")
+        return BLOCK_SIZE * self.index + (1 if self.hi_position else 0)
+
+    @property
+    def value(self) -> int:
+        """Signed integer contribution of this block to the full weight."""
+        if self.is_zero:
+            return 0
+        return self.sign * (1 << self.bit_position)
+
+    def cell_bits(self) -> tuple:
+        """The ``(Q, Q̄)`` pair stored in the 6T cell for this block.
+
+        The macro stores the magnitude pattern of the pair in the
+        cross-coupled nodes -- ``Q`` holds the low digit's magnitude and
+        ``Q̄`` the high digit's magnitude -- while the sign travels through
+        the metadata register file.  For a Comp. Pattern block exactly one of
+        the two nodes is 1, which is precisely the natural state of a 6T cell.
+        """
+        if self.is_zero:
+            raise ValueError("Zero Pattern blocks are never stored in a cell")
+        return (abs(self.low), abs(self.high))
+
+
+@dataclass(frozen=True)
+class BlockedWeight:
+    """A weight decomposed into its non-zero dyadic blocks.
+
+    Attributes:
+        value: the original integer weight.
+        blocks: the Comp. Pattern blocks, ordered from least to most
+            significant block index.  Zero Pattern blocks are discarded.
+        width: CSD digit width used for the decomposition.
+    """
+
+    value: int
+    blocks: tuple
+    width: int = DEFAULT_WIDTH
+
+    @property
+    def phi(self) -> int:
+        """Number of non-zero CSD digits (= number of Comp. Pattern blocks)."""
+        return len(self.blocks)
+
+    @property
+    def indices(self) -> List[int]:
+        """Block indices of the stored Comp. Pattern blocks."""
+        return [block.index for block in self.blocks]
+
+    @property
+    def signs(self) -> List[int]:
+        """Signs (+1 / -1) of the stored Comp. Pattern blocks."""
+        return [block.sign for block in self.blocks]
+
+    def reconstruct(self) -> int:
+        """Rebuild the integer value from the stored blocks."""
+        return sum(block.value for block in self.blocks)
+
+
+def split_blocks(digits: Sequence[int]) -> List[DyadicBlock]:
+    """Split a CSD digit vector (LSB first) into dyadic blocks.
+
+    Args:
+        digits: CSD digit vector; its length must be a multiple of 2.
+
+    Returns:
+        A list of :class:`DyadicBlock`, block #0 first.
+
+    Raises:
+        ValueError: if the digits violate the CSD invariants.
+    """
+    arr = np.asarray(digits, dtype=np.int8)
+    if arr.ndim != 1:
+        raise ValueError("expected a one-dimensional digit vector")
+    if arr.size % BLOCK_SIZE != 0:
+        raise ValueError(
+            f"digit vector length {arr.size} is not a multiple of {BLOCK_SIZE}"
+        )
+    if not is_valid_csd(arr):
+        raise ValueError("digit vector is not a valid CSD word")
+    blocks = []
+    for index in range(arr.size // BLOCK_SIZE):
+        low = int(arr[BLOCK_SIZE * index])
+        high = int(arr[BLOCK_SIZE * index + 1])
+        blocks.append(DyadicBlock(index=index, low=low, high=high))
+    return blocks
+
+
+def blocks_of_value(value: int, width: int = DEFAULT_WIDTH) -> List[DyadicBlock]:
+    """All dyadic blocks (including Zero Pattern blocks) of an integer."""
+    return split_blocks(to_csd(value, width))
+
+
+def nonzero_blocks_of_value(value: int, width: int = DEFAULT_WIDTH) -> BlockedWeight:
+    """Decompose ``value`` into its Comp. Pattern blocks only.
+
+    This mirrors the compile-time weight transformation of the paper: Zero
+    Pattern blocks are discarded and only values, signs and indices of the
+    Comp. Pattern blocks are kept.
+    """
+    blocks = tuple(
+        block for block in blocks_of_value(value, width) if block.is_comp
+    )
+    return BlockedWeight(value=int(value), blocks=blocks, width=width)
+
+
+def reconstruct_value(blocks: Sequence[DyadicBlock]) -> int:
+    """Sum the contributions of a collection of dyadic blocks."""
+    return int(sum(block.value for block in blocks))
+
+
+def _self_check() -> None:
+    """Sanity check used by the test-suite (and importable documentation).
+
+    Reproduces the worked example of the paper: ``0100_0010`` in CSD is the
+    value 66 and decomposes into blocks ``01 | 00 | 00 | 10`` with two
+    Comp. Pattern blocks at indices 3 and 0.
+    """
+    blocked = nonzero_blocks_of_value(66)
+    assert blocked.phi == 2
+    assert blocked.indices == [0, 3]
+    assert blocked.reconstruct() == 66
+    assert from_csd(to_csd(66)) == 66

@@ -1,0 +1,231 @@
+"""Fixed Threshold Approximation (FTA) -- Algorithm 1 of the DB-PIM paper.
+
+The FTA algorithm makes the *number* of non-zero CSD digits uniform across
+all weights of a filter while leaving their *positions* unstructured:
+
+1. every quantized weight of the filter is converted to CSD and its non-zero
+   digit count ``φ`` is recorded;
+2. the filter threshold ``φ_th`` is derived from the mode of those counts,
+   clipped to the range ``0..2`` (the paper finds 2 to be the prevalent mode
+   and caps the threshold there to bound the per-weight storage);
+3. every weight is snapped to the closest value in the query table
+   ``T(φ_th)``.
+
+The resulting filter can be compressed to exactly ``φ_th`` dyadic blocks per
+weight, which is what lets the DB-PIM macro map 16/φ_th filters per macro and
+keep every active SRAM cell doing useful work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .csd import DEFAULT_WIDTH, count_nonzero_digits_array
+from .query_table import QueryTableMode, nearest_in_table_array
+
+__all__ = [
+    "FTAConfig",
+    "FilterApproximation",
+    "FTAResult",
+    "filter_threshold",
+    "approximate_filter",
+    "approximate_layer",
+    "approximate_model",
+]
+
+#: The paper caps the per-filter threshold at two non-zero digits.
+MAX_THRESHOLD = 2
+
+
+@dataclass(frozen=True)
+class FTAConfig:
+    """Configuration of the FTA algorithm.
+
+    Attributes:
+        width: CSD digit width (8 for INT8 weights).
+        max_threshold: upper clip applied to the per-filter threshold.
+        value_low: inclusive lower bound of the integer weight domain.
+        value_high: inclusive upper bound of the integer weight domain.
+        table_mode: query-table construction mode (see
+            :mod:`repro.core.query_table`).  ``at_most`` is the default and
+            matches the paper's reported utilisation; ``exact`` follows the
+            literal Algorithm 1 set definition.
+    """
+
+    width: int = DEFAULT_WIDTH
+    max_threshold: int = MAX_THRESHOLD
+    value_low: int = -128
+    value_high: int = 127
+    table_mode: str = QueryTableMode.AT_MOST
+
+    def __post_init__(self) -> None:
+        QueryTableMode.validate(self.table_mode)
+        if self.max_threshold < 0:
+            raise ValueError("max_threshold must be non-negative")
+        if self.value_low > self.value_high:
+            raise ValueError("empty weight value domain")
+
+
+@dataclass
+class FilterApproximation:
+    """FTA output for a single filter.
+
+    Attributes:
+        threshold: the chosen ``φ_th`` for the filter.
+        original: the quantized integer weights before approximation.
+        approximated: the integer weights after snapping to ``T(φ_th)``.
+        phi_counts: per-weight non-zero CSD digit counts of the original
+            weights (useful for analytics and tests).
+    """
+
+    threshold: int
+    original: np.ndarray
+    approximated: np.ndarray
+    phi_counts: np.ndarray
+
+    @property
+    def mean_absolute_error(self) -> float:
+        """Average absolute perturbation introduced by the approximation."""
+        return float(np.abs(self.approximated - self.original).mean())
+
+    @property
+    def num_weights(self) -> int:
+        return int(self.original.size)
+
+
+@dataclass
+class FTAResult:
+    """FTA output for a whole layer (a stack of filters).
+
+    Attributes:
+        filters: per-filter approximations, in filter order.
+        config: the configuration used.
+    """
+
+    filters: List[FilterApproximation]
+    config: FTAConfig = field(default_factory=FTAConfig)
+
+    @property
+    def thresholds(self) -> np.ndarray:
+        """Vector of per-filter thresholds ``Φ_th``."""
+        return np.asarray([f.threshold for f in self.filters], dtype=np.int64)
+
+    @property
+    def approximated(self) -> np.ndarray:
+        """Approximated weights stacked back into ``(filters, elements)``."""
+        return np.stack([f.approximated for f in self.filters], axis=0)
+
+    @property
+    def original(self) -> np.ndarray:
+        """Original weights stacked back into ``(filters, elements)``."""
+        return np.stack([f.original for f in self.filters], axis=0)
+
+    def threshold_histogram(self) -> Dict[int, int]:
+        """Count of filters per threshold value."""
+        histogram: Dict[int, int] = {}
+        for value in self.thresholds:
+            histogram[int(value)] = histogram.get(int(value), 0) + 1
+        return histogram
+
+
+def _mode_of_counts(counts: np.ndarray) -> int:
+    """Most frequent value in ``counts`` (smallest value wins ties)."""
+    values, frequencies = np.unique(counts, return_counts=True)
+    return int(values[np.argmax(frequencies)])
+
+
+def filter_threshold(
+    weights: np.ndarray, config: Optional[FTAConfig] = None
+) -> int:
+    """Derive the FTA threshold ``φ_th`` for one filter (Alg. 1 lines 6-14).
+
+    Args:
+        weights: integer weight vector of the filter.
+        config: FTA configuration (defaults apply when omitted).
+
+    Returns:
+        The threshold in ``0 .. config.max_threshold``.
+    """
+    config = config or FTAConfig()
+    weights = np.asarray(weights, dtype=np.int64).reshape(-1)
+    if weights.size == 0:
+        raise ValueError("cannot derive a threshold for an empty filter")
+    counts = count_nonzero_digits_array(weights, config.width)
+    if np.all(counts == 0):
+        return 0
+    mode = _mode_of_counts(counts)
+    if mode == 0:
+        return 1
+    return min(mode, config.max_threshold)
+
+
+def approximate_filter(
+    weights: np.ndarray, config: Optional[FTAConfig] = None
+) -> FilterApproximation:
+    """Apply FTA to one filter: derive ``φ_th`` and snap every weight.
+
+    Args:
+        weights: integer weight array of any shape; the shape is preserved in
+            the output.
+        config: FTA configuration.
+    """
+    config = config or FTAConfig()
+    weights = np.asarray(weights, dtype=np.int64)
+    flat = weights.reshape(-1)
+    counts = count_nonzero_digits_array(flat, config.width)
+    threshold = filter_threshold(flat, config)
+    if threshold == 0:
+        approximated = np.zeros_like(flat)
+    else:
+        approximated = nearest_in_table_array(
+            flat,
+            threshold,
+            low=config.value_low,
+            high=config.value_high,
+            width=config.width,
+            mode=config.table_mode,
+        )
+    return FilterApproximation(
+        threshold=threshold,
+        original=weights.copy(),
+        approximated=approximated.reshape(weights.shape),
+        phi_counts=counts.reshape(weights.shape),
+    )
+
+
+def approximate_layer(
+    weights: np.ndarray, config: Optional[FTAConfig] = None
+) -> FTAResult:
+    """Apply FTA to a layer whose weights are stacked filter-major.
+
+    Args:
+        weights: array of shape ``(num_filters, ...)``; each slice along the
+            first axis is treated as one filter (Alg. 1 groups the layer by
+            filter).
+        config: FTA configuration.
+    """
+    config = config or FTAConfig()
+    weights = np.asarray(weights, dtype=np.int64)
+    if weights.ndim < 1 or weights.shape[0] == 0:
+        raise ValueError("layer weights must contain at least one filter")
+    if weights.ndim == 1:
+        weights = weights.reshape(weights.shape[0], 1)
+    filters = [approximate_filter(weights[i], config) for i in range(weights.shape[0])]
+    return FTAResult(filters=filters, config=config)
+
+
+def approximate_model(
+    layer_weights: Sequence[np.ndarray], config: Optional[FTAConfig] = None
+) -> List[FTAResult]:
+    """Apply FTA independently to every layer of a model.
+
+    Args:
+        layer_weights: iterable of filter-major integer weight arrays, one per
+            layer (e.g. conv weights reshaped to ``(Cout, Cin*K*K)``).
+        config: FTA configuration shared by all layers.
+    """
+    config = config or FTAConfig()
+    return [approximate_layer(weights, config) for weights in layer_weights]

@@ -1,0 +1,32 @@
+"""Experiment drivers: one module per table / figure of the paper."""
+
+from .fig2_sparsity import (
+    InputSparsityRow,
+    WeightSparsityRow,
+    input_sparsity_table,
+    weight_sparsity_table,
+)
+from .fig7_speedup_energy import SparsityBenefitRow, speedup_energy_table
+from .table1_related import SparsitySupportRow, related_work_table
+from .table2_accuracy import AccuracyRow, accuracy_table, evaluate_model_accuracy
+from .table3_comparison import ComparisonColumn, comparison_table, ours_column
+from .table4_area import AreaRow, area_table
+
+__all__ = [
+    "WeightSparsityRow",
+    "InputSparsityRow",
+    "weight_sparsity_table",
+    "input_sparsity_table",
+    "SparsityBenefitRow",
+    "speedup_energy_table",
+    "SparsitySupportRow",
+    "related_work_table",
+    "AccuracyRow",
+    "accuracy_table",
+    "evaluate_model_accuracy",
+    "ComparisonColumn",
+    "comparison_table",
+    "ours_column",
+    "AreaRow",
+    "area_table",
+]

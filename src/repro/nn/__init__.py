@@ -1,0 +1,65 @@
+"""Numpy NN substrate: layers, training, quantization-aware fine-tuning.
+
+This package replaces the PyTorch dependency of the original paper so the
+whole FTA pipeline (train → quantize → approximate → evaluate accuracy) runs
+offline on numpy alone.
+"""
+
+from . import functional
+from .data import SyntheticImageDataset, batch_iterator
+from .layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    ReLU6,
+    Residual,
+    Sequential,
+)
+from .loss import CrossEntropyLoss, accuracy
+from .optim import SGD, Adam, Optimizer
+from .qat import (
+    QuantizedLayerRecord,
+    apply_weight_override,
+    collect_weighted_layers,
+    quantize_model,
+    restore_weights,
+)
+from .training import Trainer, TrainingHistory, disable_model_qat, enable_model_qat
+
+__all__ = [
+    "functional",
+    "SyntheticImageDataset",
+    "batch_iterator",
+    "Layer",
+    "Conv2D",
+    "Linear",
+    "BatchNorm2D",
+    "ReLU",
+    "ReLU6",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool",
+    "Flatten",
+    "Sequential",
+    "Residual",
+    "CrossEntropyLoss",
+    "accuracy",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "TrainingHistory",
+    "enable_model_qat",
+    "disable_model_qat",
+    "QuantizedLayerRecord",
+    "collect_weighted_layers",
+    "quantize_model",
+    "apply_weight_override",
+    "restore_weights",
+]

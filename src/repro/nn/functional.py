@@ -1,0 +1,385 @@
+"""Numerical building blocks of the numpy NN substrate.
+
+The paper evaluates its algorithm on standard CNNs implemented in a deep
+learning framework.  Because this reproduction runs offline with numpy only,
+the required functionality (im2col convolution, pooling, batch
+normalisation, activations, softmax / cross entropy) is implemented here
+from scratch.  All functions operate on ``NCHW`` float arrays and return the
+intermediate values needed by the corresponding backward passes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_backward",
+    "relu_forward",
+    "relu_backward",
+    "relu6_forward",
+    "relu6_backward",
+    "max_pool2d_forward",
+    "max_pool2d_backward",
+    "avg_pool2d_forward",
+    "avg_pool2d_backward",
+    "global_avg_pool_forward",
+    "global_avg_pool_backward",
+    "batchnorm_forward",
+    "batchnorm_backward",
+    "softmax",
+    "cross_entropy",
+    "cross_entropy_grad",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"invalid convolution geometry: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    inputs: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold an NCHW tensor into convolution columns.
+
+    Returns:
+        ``(columns, (out_h, out_w))`` where ``columns`` has shape
+        ``(N * out_h * out_w, C * kernel * kernel)``.
+    """
+    batch, channels, height, width = inputs.shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    padded = np.pad(
+        inputs,
+        ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        mode="constant",
+    )
+    columns = np.zeros(
+        (batch, channels, kernel, kernel, out_h, out_w), dtype=inputs.dtype
+    )
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            columns[:, :, ky, kx, :, :] = padded[:, :, ky:y_end:stride, kx:x_end:stride]
+    columns = columns.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, channels * kernel * kernel
+    )
+    return columns, (out_h, out_w)
+
+
+def col2im(
+    columns: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold convolution columns back into an NCHW tensor (adjoint of im2col)."""
+    batch, channels, height, width = input_shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    columns = columns.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    columns = columns.transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding),
+        dtype=columns.dtype,
+    )
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += columns[:, :, ky, kx, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+def conv2d_forward(
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tuple[np.ndarray, dict]:
+    """Grouped 2-D convolution via im2col.
+
+    Args:
+        inputs: ``(N, Cin, H, W)``.
+        weights: ``(Cout, Cin // groups, K, K)``.
+        bias: optional ``(Cout,)``.
+        groups: number of channel groups (``groups == Cin`` for depthwise).
+
+    Returns:
+        ``(output, cache)`` with ``output`` of shape ``(N, Cout, out_h, out_w)``.
+    """
+    batch, in_channels, _, _ = inputs.shape
+    out_channels, group_in, kernel, _ = weights.shape
+    if in_channels % groups or out_channels % groups:
+        raise ValueError("channel counts must be divisible by groups")
+    if group_in != in_channels // groups:
+        raise ValueError(
+            f"weight shape {weights.shape} inconsistent with groups={groups} "
+            f"and Cin={in_channels}"
+        )
+    group_out = out_channels // groups
+    outputs = []
+    caches = []
+    for g in range(groups):
+        in_slice = inputs[:, g * group_in : (g + 1) * group_in]
+        w_slice = weights[g * group_out : (g + 1) * group_out]
+        columns, (out_h, out_w) = im2col(in_slice, kernel, stride, padding)
+        w_matrix = w_slice.reshape(group_out, -1)
+        out = columns @ w_matrix.T
+        out = out.reshape(batch, out_h, out_w, group_out).transpose(0, 3, 1, 2)
+        outputs.append(out)
+        caches.append((columns, in_slice.shape, w_slice.shape, w_matrix))
+    output = np.concatenate(outputs, axis=1)
+    if bias is not None:
+        output = output + bias.reshape(1, -1, 1, 1)
+    cache = {
+        "caches": caches,
+        "stride": stride,
+        "padding": padding,
+        "groups": groups,
+        "kernel": kernel,
+        "has_bias": bias is not None,
+        "input_shape": inputs.shape,
+    }
+    return output, cache
+
+
+def conv2d_backward(
+    grad_output: np.ndarray, cache: dict
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Backward pass of :func:`conv2d_forward`.
+
+    Returns:
+        ``(grad_input, grad_weights, grad_bias)``.
+    """
+    groups = cache["groups"]
+    stride, padding, kernel = cache["stride"], cache["padding"], cache["kernel"]
+    batch = grad_output.shape[0]
+    grad_bias = grad_output.sum(axis=(0, 2, 3)) if cache["has_bias"] else None
+    grad_inputs = []
+    grad_weights = []
+    group_out = grad_output.shape[1] // groups
+    for g in range(groups):
+        columns, in_shape, w_shape, w_matrix = cache["caches"][g]
+        grad_slice = grad_output[:, g * group_out : (g + 1) * group_out]
+        out_h, out_w = grad_slice.shape[2], grad_slice.shape[3]
+        grad_matrix = grad_slice.transpose(0, 2, 3, 1).reshape(
+            batch * out_h * out_w, group_out
+        )
+        grad_w = (grad_matrix.T @ columns).reshape(w_shape)
+        grad_cols = grad_matrix @ w_matrix
+        grad_in = col2im(grad_cols, in_shape, kernel, stride, padding)
+        grad_inputs.append(grad_in)
+        grad_weights.append(grad_w)
+    grad_input = np.concatenate(grad_inputs, axis=1)
+    grad_weight = np.concatenate(grad_weights, axis=0)
+    return grad_input, grad_weight, grad_bias
+
+
+def relu_forward(inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """ReLU activation; returns output and the positive mask for backward."""
+    mask = inputs > 0
+    return inputs * mask, mask
+
+
+def relu_backward(grad_output: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    return grad_output * mask
+
+
+def relu6_forward(inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """ReLU6 (used by MobileNetV2/EfficientNet blocks)."""
+    mask = (inputs > 0) & (inputs < 6)
+    return np.clip(inputs, 0, 6), mask
+
+
+def relu6_backward(grad_output: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    return grad_output * mask
+
+
+def max_pool2d_forward(
+    inputs: np.ndarray, kernel: int, stride: Optional[int] = None
+) -> Tuple[np.ndarray, dict]:
+    """Max pooling over non-overlapping (or strided) windows."""
+    stride = stride or kernel
+    columns, (out_h, out_w) = im2col(inputs, kernel, stride, 0)
+    batch, channels = inputs.shape[0], inputs.shape[1]
+    columns = columns.reshape(batch * out_h * out_w, channels, kernel * kernel)
+    argmax = columns.argmax(axis=2)
+    output = columns.max(axis=2)
+    output = output.reshape(batch, out_h, out_w, channels).transpose(0, 3, 1, 2)
+    cache = {
+        "argmax": argmax,
+        "input_shape": inputs.shape,
+        "kernel": kernel,
+        "stride": stride,
+        "out_hw": (out_h, out_w),
+    }
+    return output, cache
+
+
+def max_pool2d_backward(grad_output: np.ndarray, cache: dict) -> np.ndarray:
+    kernel, stride = cache["kernel"], cache["stride"]
+    batch, channels, _, _ = cache["input_shape"]
+    out_h, out_w = cache["out_hw"]
+    grad_cols = np.zeros(
+        (batch * out_h * out_w, channels, kernel * kernel), dtype=grad_output.dtype
+    )
+    grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(batch * out_h * out_w, channels)
+    rows = np.arange(grad_cols.shape[0])[:, None]
+    cols = np.arange(channels)[None, :]
+    grad_cols[rows, cols, cache["argmax"]] = grad_flat
+    grad_cols = grad_cols.reshape(batch * out_h * out_w, channels * kernel * kernel)
+    return col2im(grad_cols, cache["input_shape"], kernel, stride, 0)
+
+
+def avg_pool2d_forward(
+    inputs: np.ndarray, kernel: int, stride: Optional[int] = None
+) -> Tuple[np.ndarray, dict]:
+    """Average pooling."""
+    stride = stride or kernel
+    columns, (out_h, out_w) = im2col(inputs, kernel, stride, 0)
+    batch, channels = inputs.shape[0], inputs.shape[1]
+    columns = columns.reshape(batch * out_h * out_w, channels, kernel * kernel)
+    output = columns.mean(axis=2)
+    output = output.reshape(batch, out_h, out_w, channels).transpose(0, 3, 1, 2)
+    cache = {
+        "input_shape": inputs.shape,
+        "kernel": kernel,
+        "stride": stride,
+        "out_hw": (out_h, out_w),
+    }
+    return output, cache
+
+
+def avg_pool2d_backward(grad_output: np.ndarray, cache: dict) -> np.ndarray:
+    kernel, stride = cache["kernel"], cache["stride"]
+    batch, channels, _, _ = cache["input_shape"]
+    out_h, out_w = cache["out_hw"]
+    grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(batch * out_h * out_w, channels)
+    grad_cols = np.repeat(grad_flat[:, :, None], kernel * kernel, axis=2) / (
+        kernel * kernel
+    )
+    grad_cols = grad_cols.reshape(batch * out_h * out_w, channels * kernel * kernel)
+    return col2im(grad_cols, cache["input_shape"], kernel, stride, 0)
+
+
+def global_avg_pool_forward(inputs: np.ndarray) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Global average pooling to ``(N, C)``."""
+    return inputs.mean(axis=(2, 3)), inputs.shape
+
+
+def global_avg_pool_backward(
+    grad_output: np.ndarray, input_shape: Tuple[int, ...]
+) -> np.ndarray:
+    _, _, height, width = input_shape
+    scale = 1.0 / (height * width)
+    return (
+        np.broadcast_to(
+            grad_output[:, :, None, None], input_shape
+        ).astype(grad_output.dtype)
+        * scale
+    )
+
+
+def batchnorm_forward(
+    inputs: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+    training: bool = True,
+) -> Tuple[np.ndarray, dict]:
+    """Batch normalisation over the channel axis of an NCHW tensor.
+
+    ``running_mean`` / ``running_var`` are updated in place during training,
+    mirroring the usual framework semantics.
+    """
+    axes = (0, 2, 3) if inputs.ndim == 4 else (0,)
+    if training:
+        mean = inputs.mean(axis=axes)
+        var = inputs.var(axis=axes)
+        running_mean *= 1 - momentum
+        running_mean += momentum * mean
+        running_var *= 1 - momentum
+        running_var += momentum * var
+    else:
+        mean, var = running_mean, running_var
+    shape = (1, -1, 1, 1) if inputs.ndim == 4 else (1, -1)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normalized = (inputs - mean.reshape(shape)) * inv_std.reshape(shape)
+    output = gamma.reshape(shape) * normalized + beta.reshape(shape)
+    cache = {
+        "normalized": normalized,
+        "inv_std": inv_std,
+        "gamma": gamma,
+        "axes": axes,
+        "shape": shape,
+    }
+    return output, cache
+
+
+def batchnorm_backward(
+    grad_output: np.ndarray, cache: dict
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of batch normalisation (training statistics)."""
+    normalized = cache["normalized"]
+    inv_std = cache["inv_std"]
+    gamma = cache["gamma"]
+    axes = cache["axes"]
+    shape = cache["shape"]
+    count = grad_output.size / gamma.size
+    grad_gamma = (grad_output * normalized).sum(axis=axes)
+    grad_beta = grad_output.sum(axis=axes)
+    grad_normalized = grad_output * gamma.reshape(shape)
+    grad_input = (
+        grad_normalized
+        - grad_normalized.mean(axis=axes).reshape(shape)
+        - normalized * (grad_normalized * normalized).mean(axis=axes).reshape(shape)
+    ) * inv_std.reshape(shape)
+    # ``count`` kept for clarity; the means above already divide by it.
+    del count
+    return grad_input, grad_gamma, grad_beta
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of integer labels under ``softmax(logits)``."""
+    probabilities = softmax(logits)
+    batch = logits.shape[0]
+    picked = probabilities[np.arange(batch), labels]
+    return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+
+def cross_entropy_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of :func:`cross_entropy` with respect to the logits."""
+    probabilities = softmax(logits)
+    batch = logits.shape[0]
+    grad = probabilities.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return grad / batch

@@ -1,0 +1,397 @@
+"""Trainable layers of the numpy NN substrate.
+
+Layers follow a minimal forward/backward protocol: ``forward(x)`` stores the
+cache it needs, ``backward(grad)`` returns the gradient with respect to the
+input and accumulates parameter gradients in ``layer.grads``.  Parameters
+live in ``layer.params`` keyed by name, so optimizers can iterate over all
+``(layer, name)`` pairs generically.
+
+The conv and linear layers support *fake quantization* hooks used by the
+FTA-aware QAT loop: when ``quantize`` is enabled the forward pass replaces
+the float weights by their quantize→(optionally FTA)→dequantize image while
+gradients still flow to the float master weights (straight-through
+estimator), matching the paper's training procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.fta import FTAConfig
+from ..core.quantization import dequantize, fta_quantize_weights, quantize_weights
+from . import functional as F
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "Linear",
+    "BatchNorm2D",
+    "ReLU",
+    "ReLU6",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool",
+    "Flatten",
+    "Sequential",
+    "Residual",
+]
+
+
+class Layer:
+    """Base class of all layers."""
+
+    def __init__(self) -> None:
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+        self.training = True
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    def train(self) -> None:
+        """Switch the layer (and any sub-layers) to training mode."""
+        self.training = True
+        for child in self.children():
+            child.train()
+
+    def eval(self) -> None:
+        """Switch the layer (and any sub-layers) to inference mode."""
+        self.training = False
+        for child in self.children():
+            child.eval()
+
+    def children(self) -> List["Layer"]:
+        """Direct sub-layers; composite layers override this."""
+        return []
+
+    def parameters(self) -> List[Tuple["Layer", str]]:
+        """All ``(layer, parameter-name)`` pairs below this layer."""
+        pairs = [(self, name) for name in self.params]
+        for child in self.children():
+            pairs.extend(child.parameters())
+        return pairs
+
+    def zero_grad(self) -> None:
+        for layer, name in self.parameters():
+            layer.grads[name] = np.zeros_like(layer.params[name])
+
+
+class _QuantizedWeightMixin:
+    """Shared fake-quantization logic of Conv2D and Linear."""
+
+    def __init__(self) -> None:
+        self.quantize = False
+        self.apply_fta = False
+        self.fta_config: Optional[FTAConfig] = None
+        self.weight_bits = 8
+
+    def enable_qat(self, apply_fta: bool = False, fta_config: Optional[FTAConfig] = None) -> None:
+        """Turn on fake weight quantization (optionally with FTA) in forward."""
+        self.quantize = True
+        self.apply_fta = apply_fta
+        self.fta_config = fta_config
+
+    def disable_qat(self) -> None:
+        self.quantize = False
+        self.apply_fta = False
+
+    def effective_weights(self, weights: np.ndarray) -> np.ndarray:
+        """Weights actually used in the forward pass."""
+        if not self.quantize:
+            return weights
+        if self.apply_fta:
+            _, approximated, params, _ = fta_quantize_weights(
+                weights, num_bits=self.weight_bits, fta_config=self.fta_config
+            )
+            return dequantize(approximated, params)
+        quantized, params = quantize_weights(weights, num_bits=self.weight_bits)
+        return dequantize(quantized, params)
+
+
+def _kaiming_init(shape: Tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialisation used for conv and linear weights."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+class Conv2D(Layer, _QuantizedWeightMixin):
+    """2-D convolution (supports grouped / depthwise convolution)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        Layer.__init__(self)
+        _QuantizedWeightMixin.__init__(self)
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("in/out channels must be divisible by groups")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
+        self.params["weight"] = _kaiming_init(
+            (out_channels, in_channels // groups, kernel_size, kernel_size),
+            fan_in,
+            rng,
+        )
+        if bias:
+            self.params["bias"] = np.zeros(out_channels)
+        self._cache: Optional[dict] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        weights = self.effective_weights(self.params["weight"])
+        bias = self.params.get("bias")
+        output, cache = F.conv2d_forward(
+            inputs, weights, bias, self.stride, self.padding, self.groups
+        )
+        self._cache = cache
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        grad_input, grad_weight, grad_bias = F.conv2d_backward(grad_output, self._cache)
+        self.grads["weight"] = self.grads.get("weight", 0) + grad_weight
+        if grad_bias is not None:
+            self.grads["bias"] = self.grads.get("bias", 0) + grad_bias
+        return grad_input
+
+
+class Linear(Layer, _QuantizedWeightMixin):
+    """Fully connected layer operating on ``(N, features)`` inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        Layer.__init__(self)
+        _QuantizedWeightMixin.__init__(self)
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params["weight"] = _kaiming_init(
+            (out_features, in_features), in_features, rng
+        )
+        if bias:
+            self.params["bias"] = np.zeros(out_features)
+        self._inputs: Optional[np.ndarray] = None
+        self._weights_used: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        weights = self.effective_weights(self.params["weight"])
+        self._inputs = inputs
+        self._weights_used = weights
+        output = inputs @ weights.T
+        if "bias" in self.params:
+            output = output + self.params["bias"]
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None or self._weights_used is None:
+            raise RuntimeError("backward called before forward")
+        self.grads["weight"] = self.grads.get("weight", 0) + grad_output.T @ self._inputs
+        if "bias" in self.params:
+            self.grads["bias"] = self.grads.get("bias", 0) + grad_output.sum(axis=0)
+        return grad_output @ self._weights_used
+
+
+class BatchNorm2D(Layer):
+    """Batch normalisation over the channel axis of NCHW tensors."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.params["gamma"] = np.ones(num_features)
+        self.params["beta"] = np.zeros(num_features)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: Optional[dict] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output, cache = F.batchnorm_forward(
+            inputs,
+            self.params["gamma"],
+            self.params["beta"],
+            self.running_mean,
+            self.running_var,
+            self.momentum,
+            self.eps,
+            self.training,
+        )
+        self._cache = cache
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        grad_input, grad_gamma, grad_beta = F.batchnorm_backward(grad_output, self._cache)
+        self.grads["gamma"] = self.grads.get("gamma", 0) + grad_gamma
+        self.grads["beta"] = self.grads.get("beta", 0) + grad_beta
+        return grad_input
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output, self._mask = F.relu_forward(inputs)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return F.relu_backward(grad_output, self._mask)
+
+
+class ReLU6(Layer):
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output, self._mask = F.relu6_forward(inputs)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return F.relu6_backward(grad_output, self._mask)
+
+
+class MaxPool2D(Layer):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self._cache: Optional[dict] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output, self._cache = F.max_pool2d_forward(inputs, self.kernel_size, self.stride)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return F.max_pool2d_backward(grad_output, self._cache)
+
+
+class AvgPool2D(Layer):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self._cache: Optional[dict] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output, self._cache = F.avg_pool2d_forward(inputs, self.kernel_size, self.stride)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return F.avg_pool2d_backward(grad_output, self._cache)
+
+
+class GlobalAvgPool(Layer):
+    """Global average pooling producing ``(N, C)`` feature vectors."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output, self._input_shape = F.global_avg_pool_forward(inputs)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return F.global_avg_pool_backward(grad_output, self._input_shape)
+
+
+class Flatten(Layer):
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output.reshape(self._input_shape)
+
+
+class Sequential(Layer):
+    """Composite layer applying sub-layers in order."""
+
+    def __init__(self, *layers: Layer) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def children(self) -> List[Layer]:
+        return list(self.layers)
+
+    def append(self, layer: Layer) -> None:
+        self.layers.append(layer)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output = inputs
+        for layer in self.layers:
+            output = layer.forward(output)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+
+class Residual(Layer):
+    """Residual connection: ``output = body(x) + shortcut(x)``.
+
+    The shortcut defaults to identity; a projection (e.g. a 1×1 conv +
+    batch-norm Sequential) can be supplied for dimension changes, mirroring
+    ResNet basic blocks and MobileNetV2 inverted residuals.
+    """
+
+    def __init__(self, body: Layer, shortcut: Optional[Layer] = None) -> None:
+        super().__init__()
+        self.body = body
+        self.shortcut = shortcut
+
+    def children(self) -> List[Layer]:
+        children = [self.body]
+        if self.shortcut is not None:
+            children.append(self.shortcut)
+        return children
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        branch = self.body.forward(inputs)
+        identity = inputs if self.shortcut is None else self.shortcut.forward(inputs)
+        return branch + identity
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_body = self.body.backward(grad_output)
+        if self.shortcut is None:
+            grad_identity = grad_output
+        else:
+            grad_identity = self.shortcut.backward(grad_output)
+        return grad_body + grad_identity

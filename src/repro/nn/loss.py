@@ -1,0 +1,28 @@
+"""Loss functions for the numpy NN substrate."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import functional as F
+
+__all__ = ["CrossEntropyLoss", "accuracy"]
+
+
+class CrossEntropyLoss:
+    """Softmax cross entropy with integer class labels."""
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Return ``(loss, grad_logits)`` for a batch."""
+        labels = np.asarray(labels, dtype=np.int64)
+        loss = F.cross_entropy(logits, labels)
+        grad = F.cross_entropy_grad(logits, labels)
+        return loss, grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy of a batch of logits."""
+    predictions = np.argmax(logits, axis=-1)
+    return float((predictions == np.asarray(labels)).mean())

@@ -1,0 +1,25 @@
+"""Mini trainable model zoo mirroring the paper's evaluation networks."""
+
+from .blocks import basic_block, conv_bn_relu, inverted_residual
+from .zoo import (
+    MODEL_BUILDERS,
+    build_model,
+    mini_alexnet,
+    mini_efficientnet_b0,
+    mini_mobilenet_v2,
+    mini_resnet,
+    mini_vgg,
+)
+
+__all__ = [
+    "conv_bn_relu",
+    "basic_block",
+    "inverted_residual",
+    "MODEL_BUILDERS",
+    "build_model",
+    "mini_alexnet",
+    "mini_vgg",
+    "mini_resnet",
+    "mini_mobilenet_v2",
+    "mini_efficientnet_b0",
+]

@@ -1,0 +1,106 @@
+"""Reusable building blocks of the mini model zoo."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..layers import (
+    BatchNorm2D,
+    Conv2D,
+    Layer,
+    ReLU,
+    ReLU6,
+    Residual,
+    Sequential,
+)
+
+__all__ = ["conv_bn_relu", "basic_block", "inverted_residual"]
+
+
+def conv_bn_relu(
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int = 3,
+    stride: int = 1,
+    padding: Optional[int] = None,
+    groups: int = 1,
+    relu6: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Conv → BatchNorm → ReLU(6) block (the workhorse of every model)."""
+    if padding is None:
+        padding = kernel_size // 2
+    activation: Layer = ReLU6() if relu6 else ReLU()
+    return Sequential(
+        Conv2D(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            groups=groups,
+            bias=False,
+            rng=rng,
+        ),
+        BatchNorm2D(out_channels),
+        activation,
+    )
+
+
+def basic_block(
+    in_channels: int,
+    out_channels: int,
+    stride: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> Layer:
+    """ResNet basic block: two 3×3 convs with an identity/projection shortcut."""
+    body = Sequential(
+        Conv2D(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng),
+        BatchNorm2D(out_channels),
+        ReLU(),
+        Conv2D(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng),
+        BatchNorm2D(out_channels),
+    )
+    shortcut: Optional[Layer] = None
+    if stride != 1 or in_channels != out_channels:
+        shortcut = Sequential(
+            Conv2D(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+            BatchNorm2D(out_channels),
+        )
+    return Sequential(Residual(body, shortcut), ReLU())
+
+
+def inverted_residual(
+    in_channels: int,
+    out_channels: int,
+    stride: int = 1,
+    expansion: int = 4,
+    rng: Optional[np.random.Generator] = None,
+) -> Layer:
+    """MobileNetV2 / EfficientNet inverted residual (MBConv) block.
+
+    Expansion 1×1 conv → depthwise 3×3 conv → linear 1×1 projection, with a
+    residual connection when the spatial size and channel count match.  The
+    squeeze-and-excite stage of EfficientNet is omitted in the mini models;
+    it does not interact with the weight-quantization path the experiments
+    exercise.
+    """
+    hidden = in_channels * expansion
+    body = Sequential(
+        # Expansion.
+        Conv2D(in_channels, hidden, 1, bias=False, rng=rng),
+        BatchNorm2D(hidden),
+        ReLU6(),
+        # Depthwise.
+        Conv2D(hidden, hidden, 3, stride=stride, padding=1, groups=hidden, bias=False, rng=rng),
+        BatchNorm2D(hidden),
+        ReLU6(),
+        # Linear projection.
+        Conv2D(hidden, out_channels, 1, bias=False, rng=rng),
+        BatchNorm2D(out_channels),
+    )
+    if stride == 1 and in_channels == out_channels:
+        return Residual(body)
+    return body

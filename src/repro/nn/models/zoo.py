@@ -1,0 +1,141 @@
+"""Mini trainable versions of the paper's five evaluation networks.
+
+The paper evaluates AlexNet, VGG-19, ResNet-18, MobileNetV2 and
+EfficientNet-B0 on CIFAR-100.  Full-size versions of those networks are far
+too expensive to train in a numpy-only environment, so this module provides
+*mini* versions that preserve the architectural traits that matter to the
+FTA/DB-PIM experiments:
+
+* AlexNet / VGG  -- plain convolution stacks with large dense classifiers
+  (high weight redundancy → FTA thresholds mostly 1),
+* ResNet         -- residual basic blocks,
+* MobileNetV2 / EfficientNet -- inverted residual (MBConv) blocks with
+  depthwise convolutions and narrow channel counts (low redundancy → FTA
+  thresholds mostly 2).
+
+The default input resolution is 16×16×3, matching
+:class:`repro.nn.data.SyntheticImageDataset`.  The *full-size* layer shapes
+used by the performance simulator live in :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..layers import (
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from .blocks import basic_block, conv_bn_relu, inverted_residual
+
+__all__ = [
+    "mini_alexnet",
+    "mini_vgg",
+    "mini_resnet",
+    "mini_mobilenet_v2",
+    "mini_efficientnet_b0",
+    "MODEL_BUILDERS",
+    "build_model",
+]
+
+
+def mini_alexnet(num_classes: int = 10, seed: int = 0) -> Sequential:
+    """Miniature AlexNet: three conv stages and a two-layer classifier."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        conv_bn_relu(3, 16, 3, rng=rng),
+        MaxPool2D(2),
+        conv_bn_relu(16, 32, 3, rng=rng),
+        MaxPool2D(2),
+        conv_bn_relu(32, 32, 3, rng=rng),
+        Flatten(),
+        Linear(32 * 4 * 4, 64, rng=rng),
+        ReLU(),
+        Linear(64, num_classes, rng=rng),
+    )
+
+
+def mini_vgg(num_classes: int = 10, seed: int = 0) -> Sequential:
+    """Miniature VGG: double-conv stages followed by a dense classifier."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        conv_bn_relu(3, 16, 3, rng=rng),
+        conv_bn_relu(16, 16, 3, rng=rng),
+        MaxPool2D(2),
+        conv_bn_relu(16, 32, 3, rng=rng),
+        conv_bn_relu(32, 32, 3, rng=rng),
+        MaxPool2D(2),
+        conv_bn_relu(32, 48, 3, rng=rng),
+        conv_bn_relu(48, 48, 3, rng=rng),
+        MaxPool2D(2),
+        Flatten(),
+        Linear(48 * 2 * 2, 64, rng=rng),
+        ReLU(),
+        Linear(64, num_classes, rng=rng),
+    )
+
+
+def mini_resnet(num_classes: int = 10, seed: int = 0) -> Sequential:
+    """Miniature ResNet: stem + three basic-block stages + GAP classifier."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        conv_bn_relu(3, 16, 3, rng=rng),
+        basic_block(16, 16, stride=1, rng=rng),
+        basic_block(16, 32, stride=2, rng=rng),
+        basic_block(32, 48, stride=2, rng=rng),
+        GlobalAvgPool(),
+        Linear(48, num_classes, rng=rng),
+    )
+
+
+def mini_mobilenet_v2(num_classes: int = 10, seed: int = 0) -> Sequential:
+    """Miniature MobileNetV2: stem + three inverted residual blocks."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        conv_bn_relu(3, 16, 3, relu6=True, rng=rng),
+        inverted_residual(16, 16, stride=1, expansion=2, rng=rng),
+        inverted_residual(16, 24, stride=2, expansion=4, rng=rng),
+        inverted_residual(24, 32, stride=2, expansion=4, rng=rng),
+        GlobalAvgPool(),
+        Linear(32, num_classes, rng=rng),
+    )
+
+
+def mini_efficientnet_b0(num_classes: int = 10, seed: int = 0) -> Sequential:
+    """Miniature EfficientNet-B0: MBConv stages with slightly wider channels."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        conv_bn_relu(3, 16, 3, relu6=True, rng=rng),
+        inverted_residual(16, 16, stride=1, expansion=1, rng=rng),
+        inverted_residual(16, 24, stride=2, expansion=4, rng=rng),
+        inverted_residual(24, 24, stride=1, expansion=4, rng=rng),
+        inverted_residual(24, 40, stride=2, expansion=4, rng=rng),
+        GlobalAvgPool(),
+        Linear(40, num_classes, rng=rng),
+    )
+
+
+#: Registry keyed by the model names the paper uses.
+MODEL_BUILDERS: Dict[str, Callable[..., Sequential]] = {
+    "alexnet": mini_alexnet,
+    "vgg19": mini_vgg,
+    "resnet18": mini_resnet,
+    "mobilenetv2": mini_mobilenet_v2,
+    "efficientnetb0": mini_efficientnet_b0,
+}
+
+
+def build_model(name: str, num_classes: int = 10, seed: Optional[int] = None) -> Sequential:
+    """Build a mini model by paper name (case-insensitive)."""
+    key = name.lower()
+    if key not in MODEL_BUILDERS:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}"
+        )
+    return MODEL_BUILDERS[key](num_classes=num_classes, seed=seed or 0)

@@ -1,0 +1,107 @@
+"""Optimizers for the numpy NN substrate."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer over the ``(layer, parameter-name)`` pairs of a model."""
+
+    def __init__(self, model: Layer, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.model = model
+        self.learning_rate = learning_rate
+
+    @property
+    def parameters(self) -> List[Tuple[Layer, str]]:
+        return self.model.parameters()
+
+    def zero_grad(self) -> None:
+        self.model.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        model: Layer,
+        learning_rate: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(model, learning_rate)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def step(self) -> None:
+        for layer, name in self.parameters:
+            grad = layer.grads.get(name)
+            if grad is None:
+                continue
+            param = layer.params[name]
+            if self.weight_decay and name == "weight":
+                grad = grad + self.weight_decay * param
+            store = self._velocity.setdefault(id(layer), {})
+            velocity = store.get(name)
+            if velocity is None:
+                velocity = np.zeros_like(param)
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            store[name] = velocity
+            layer.params[name] = param + velocity
+
+
+class Adam(Optimizer):
+    """Adam optimizer."""
+
+    def __init__(
+        self,
+        model: Layer,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(model, learning_rate)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._first: Dict[int, Dict[str, np.ndarray]] = {}
+        self._second: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        correction1 = 1 - self.beta1**self._step_count
+        correction2 = 1 - self.beta2**self._step_count
+        for layer, name in self.parameters:
+            grad = layer.grads.get(name)
+            if grad is None:
+                continue
+            param = layer.params[name]
+            if self.weight_decay and name == "weight":
+                grad = grad + self.weight_decay * param
+            first_store = self._first.setdefault(id(layer), {})
+            second_store = self._second.setdefault(id(layer), {})
+            first = first_store.get(name, np.zeros_like(param))
+            second = second_store.get(name, np.zeros_like(param))
+            first = self.beta1 * first + (1 - self.beta1) * grad
+            second = self.beta2 * second + (1 - self.beta2) * grad * grad
+            first_store[name] = first
+            second_store[name] = second
+            update = (first / correction1) / (np.sqrt(second / correction2) + self.eps)
+            layer.params[name] = param - self.learning_rate * update

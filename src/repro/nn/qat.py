@@ -1,0 +1,131 @@
+"""Post-training model transforms: INT8 quantization and FTA approximation.
+
+These helpers operate on a trained model and produce, per weighted layer,
+the plain quantized integer weights, the FTA-approximated integer weights,
+and the per-filter thresholds -- exactly the artefacts the compiler consumes
+and the accuracy study (Table 2) compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.fta import FTAConfig
+from ..core.quantization import QuantizationParams, dequantize, fta_quantize_weights
+from .layers import Conv2D, Layer, Linear
+
+__all__ = [
+    "QuantizedLayerRecord",
+    "collect_weighted_layers",
+    "quantize_model",
+    "apply_weight_override",
+    "restore_weights",
+]
+
+
+@dataclass
+class QuantizedLayerRecord:
+    """Quantization artefacts of one Conv2D / Linear layer.
+
+    Attributes:
+        layer: the live layer object (weights may be overridden in place).
+        name: dotted path of the layer inside the model.
+        float_weights: copy of the original float weights.
+        int_weights: plain symmetric INT8 weights.
+        fta_int_weights: FTA-approximated INT8 weights.
+        params: quantization parameters (per-channel scales).
+        thresholds: per-filter FTA thresholds.
+    """
+
+    layer: Layer
+    name: str
+    float_weights: np.ndarray
+    int_weights: np.ndarray
+    fta_int_weights: np.ndarray
+    params: QuantizationParams
+    thresholds: np.ndarray
+
+    @property
+    def filter_major_int_weights(self) -> np.ndarray:
+        """Plain quantized weights reshaped to ``(filters, elements)``."""
+        return self.int_weights.reshape(self.int_weights.shape[0], -1)
+
+    @property
+    def filter_major_fta_weights(self) -> np.ndarray:
+        """FTA weights reshaped to ``(filters, elements)``."""
+        return self.fta_int_weights.reshape(self.fta_int_weights.shape[0], -1)
+
+
+def collect_weighted_layers(model: Layer, prefix: str = "model") -> List[tuple]:
+    """Depth-first list of ``(name, layer)`` for every Conv2D / Linear."""
+    found = []
+
+    def visit(layer: Layer, name: str) -> None:
+        if isinstance(layer, (Conv2D, Linear)):
+            found.append((name, layer))
+        for index, child in enumerate(layer.children()):
+            visit(child, f"{name}.{index}")
+
+    visit(model, prefix)
+    return found
+
+
+def quantize_model(
+    model: Layer,
+    num_bits: int = 8,
+    fta_config: Optional[FTAConfig] = None,
+) -> List[QuantizedLayerRecord]:
+    """Quantize every weighted layer of a model and apply FTA per layer."""
+    records = []
+    for name, layer in collect_weighted_layers(model):
+        weights = layer.params["weight"]
+        int_weights, fta_int_weights, params, thresholds = fta_quantize_weights(
+            weights, num_bits=num_bits, fta_config=fta_config
+        )
+        records.append(
+            QuantizedLayerRecord(
+                layer=layer,
+                name=name,
+                float_weights=weights.copy(),
+                int_weights=int_weights,
+                fta_int_weights=fta_int_weights,
+                params=params,
+                thresholds=thresholds,
+            )
+        )
+    return records
+
+
+def apply_weight_override(
+    records: List[QuantizedLayerRecord], use_fta: bool
+) -> None:
+    """Replace each layer's float weights by the dequantized integer weights.
+
+    Args:
+        records: output of :func:`quantize_model`.
+        use_fta: when True the FTA-approximated integers are used, otherwise
+            the plain quantized integers.
+    """
+    for record in records:
+        integers = record.fta_int_weights if use_fta else record.int_weights
+        record.layer.params["weight"] = dequantize(integers, record.params)
+
+
+def restore_weights(records: List[QuantizedLayerRecord]) -> None:
+    """Undo :func:`apply_weight_override`, restoring the float weights."""
+    for record in records:
+        record.layer.params["weight"] = record.float_weights.copy()
+
+
+def layer_threshold_summary(records: List[QuantizedLayerRecord]) -> Dict[str, Dict[int, int]]:
+    """Per-layer histogram of FTA thresholds (useful for the speedup model)."""
+    summary: Dict[str, Dict[int, int]] = {}
+    for record in records:
+        histogram: Dict[int, int] = {}
+        for value in record.thresholds:
+            histogram[int(value)] = histogram.get(int(value), 0) + 1
+        summary[record.name] = histogram
+    return summary

@@ -1,0 +1,162 @@
+"""Training / evaluation loops, including FTA-aware QAT.
+
+The paper's training procedure has two stages:
+
+1. **FTA-aware QAT** -- quantization-aware fine-tuning of a pre-trained
+   float model so the quantization parameters already account for the
+   approximation (forward passes use the fake-quantized, optionally
+   FTA-approximated, weights; gradients flow to the float master copy via a
+   straight-through estimator).
+2. **FTA quantization** -- the final offline step that produces the INT8 +
+   FTA approximated model handed to the compiler.
+
+``Trainer`` implements plain float training (the "pre-trained model" step)
+and QAT fine-tuning on top of the same loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.fta import FTAConfig
+from .data import SyntheticImageDataset, batch_iterator
+from .layers import Conv2D, Layer, Linear
+from .loss import CrossEntropyLoss, accuracy
+from .optim import SGD, Optimizer
+
+__all__ = ["TrainingHistory", "Trainer", "enable_model_qat", "disable_model_qat"]
+
+
+@dataclass
+class TrainingHistory:
+    """Loss/accuracy trace of a training run."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.test_accuracy[-1] if self.test_accuracy else float("nan")
+
+
+def enable_model_qat(
+    model: Layer, apply_fta: bool = False, fta_config: Optional[FTAConfig] = None
+) -> int:
+    """Enable fake weight quantization on every Conv2D/Linear of a model.
+
+    Returns:
+        The number of layers switched to QAT mode.
+    """
+    count = 0
+    stack = [model]
+    while stack:
+        layer = stack.pop()
+        if isinstance(layer, (Conv2D, Linear)):
+            layer.enable_qat(apply_fta=apply_fta, fta_config=fta_config)
+            count += 1
+        stack.extend(layer.children())
+    return count
+
+
+def disable_model_qat(model: Layer) -> int:
+    """Disable fake weight quantization everywhere; returns layers touched."""
+    count = 0
+    stack = [model]
+    while stack:
+        layer = stack.pop()
+        if isinstance(layer, (Conv2D, Linear)):
+            layer.disable_qat()
+            count += 1
+        stack.extend(layer.children())
+    return count
+
+
+class Trainer:
+    """Mini-batch trainer for the numpy models."""
+
+    def __init__(
+        self,
+        model: Layer,
+        dataset: SyntheticImageDataset,
+        optimizer: Optional[Optimizer] = None,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.optimizer = optimizer or SGD(model, learning_rate=0.05, momentum=0.9)
+        self.batch_size = batch_size
+        self.seed = seed
+        self.loss_fn = CrossEntropyLoss()
+
+    def evaluate(self, images: Optional[np.ndarray] = None, labels: Optional[np.ndarray] = None) -> float:
+        """Top-1 accuracy of the model on a dataset split (test by default)."""
+        if images is None:
+            images, labels = self.dataset.test_images, self.dataset.test_labels
+        self.model.eval()
+        correct = 0.0
+        total = 0
+        for batch_images, batch_labels in batch_iterator(
+            images, labels, self.batch_size, shuffle=False
+        ):
+            logits = self.model.forward(batch_images)
+            correct += accuracy(logits, batch_labels) * batch_images.shape[0]
+            total += batch_images.shape[0]
+        self.model.train()
+        return correct / max(total, 1)
+
+    def train(self, epochs: int, verbose: bool = False) -> TrainingHistory:
+        """Run the training loop for a number of epochs."""
+        history = TrainingHistory()
+        self.model.train()
+        for epoch in range(epochs):
+            epoch_loss = 0.0
+            epoch_accuracy = 0.0
+            batches = 0
+            for batch_images, batch_labels in batch_iterator(
+                self.dataset.train_images,
+                self.dataset.train_labels,
+                self.batch_size,
+                shuffle=True,
+                seed=self.seed + epoch,
+            ):
+                self.optimizer.zero_grad()
+                logits = self.model.forward(batch_images)
+                loss, grad = self.loss_fn(logits, batch_labels)
+                self.model.backward(grad)
+                self.optimizer.step()
+                epoch_loss += loss
+                epoch_accuracy += accuracy(logits, batch_labels)
+                batches += 1
+            history.train_loss.append(epoch_loss / max(batches, 1))
+            history.train_accuracy.append(epoch_accuracy / max(batches, 1))
+            history.test_accuracy.append(self.evaluate())
+            if verbose:  # pragma: no cover - cosmetic output
+                print(
+                    f"epoch {epoch + 1}/{epochs}: "
+                    f"loss={history.train_loss[-1]:.4f} "
+                    f"train_acc={history.train_accuracy[-1]:.3f} "
+                    f"test_acc={history.test_accuracy[-1]:.3f}"
+                )
+        return history
+
+    def fine_tune_with_qat(
+        self,
+        epochs: int,
+        apply_fta: bool = False,
+        fta_config: Optional[FTAConfig] = None,
+        learning_rate: float = 0.01,
+    ) -> TrainingHistory:
+        """FTA-aware QAT fine-tuning on top of the current weights."""
+        enable_model_qat(self.model, apply_fta=apply_fta, fta_config=fta_config)
+        previous_optimizer = self.optimizer
+        self.optimizer = SGD(self.model, learning_rate=learning_rate, momentum=0.9)
+        try:
+            history = self.train(epochs)
+        finally:
+            self.optimizer = previous_optimizer
+        return history

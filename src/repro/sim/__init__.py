@@ -1,0 +1,19 @@
+"""Cycle-level performance simulation and system metrics."""
+
+from .cycle_model import (
+    SPARSITY_VARIANTS,
+    CycleModel,
+    LayerPerformance,
+    ModelPerformance,
+)
+from .metrics import SystemMetrics, compute_metrics, peak_throughput_tops
+
+__all__ = [
+    "SPARSITY_VARIANTS",
+    "CycleModel",
+    "LayerPerformance",
+    "ModelPerformance",
+    "SystemMetrics",
+    "compute_metrics",
+    "peak_throughput_tops",
+]

@@ -1,0 +1,208 @@
+"""Cycle-level performance and energy model of DB-PIM vs the dense baseline.
+
+This is the analytical counterpart of the paper's cycle-accurate C++
+simulator: for every layer of a workload it derives, from the static mapping
+and the layer's sparsity profile, the broadcast cycles, cell activity,
+metadata traffic and buffer traffic -- and from those the latency and energy
+of the four configurations compared in Fig. 7:
+
+* ``base``            -- dense digital PIM baseline,
+* ``input sparsity``  -- baseline mapping + IPU zero-column skipping,
+* ``weight sparsity`` -- dyadic-block mapping, no input skipping,
+* ``hybrid sparsity`` -- both (the full DB-PIM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.config import DBPIMConfig
+from ..arch.energy import EnergyBreakdown, EnergyModel
+from ..compiler.mapping import map_layer
+from ..workloads.layers import LayerShape
+from ..workloads.profiles import LayerSparsityProfile, ModelSparsityProfile
+
+__all__ = ["LayerPerformance", "ModelPerformance", "CycleModel", "SPARSITY_VARIANTS"]
+
+#: The four configurations of Fig. 7, in plotting order.
+SPARSITY_VARIANTS = ("base", "input", "weight", "hybrid")
+
+
+@dataclass
+class LayerPerformance:
+    """Latency / energy / activity of one layer under one configuration."""
+
+    layer: LayerShape
+    cycles: float
+    cell_activations: float
+    effective_cell_activations: float
+    energy: EnergyBreakdown
+    macs: int
+
+    @property
+    def actual_utilization(self) -> float:
+        """``U_act`` of Eq. (1) for this layer."""
+        if self.cell_activations == 0:
+            return 0.0
+        return self.effective_cell_activations / self.cell_activations
+
+
+@dataclass
+class ModelPerformance:
+    """Aggregated performance of a whole workload under one configuration."""
+
+    name: str
+    variant: str
+    layers: List[LayerPerformance] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(layer.energy.total_pj for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def actual_utilization(self) -> float:
+        total = sum(layer.cell_activations for layer in self.layers)
+        effective = sum(layer.effective_cell_activations for layer in self.layers)
+        return effective / total if total else 0.0
+
+    def energy_breakdown(self) -> Dict[str, float]:
+        """Component-wise energy of the whole model (pJ)."""
+        combined = EnergyBreakdown()
+        for layer in self.layers:
+            combined.merge(layer.energy)
+        return combined.as_dict()
+
+
+class CycleModel:
+    """Analytical latency/energy model over workload sparsity profiles."""
+
+    def __init__(
+        self,
+        config: Optional[DBPIMConfig] = None,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        self.config = config or DBPIMConfig()
+        self.energy_model = energy_model or EnergyModel()
+
+    # ------------------------------------------------------------------
+    # Configuration variants
+    # ------------------------------------------------------------------
+    def variant_config(self, variant: str) -> DBPIMConfig:
+        """The hardware configuration of one Fig. 7 variant."""
+        if variant == "base":
+            return self.config.dense_baseline()
+        if variant == "input":
+            return self.config.input_sparsity_only()
+        if variant == "weight":
+            return self.config.weight_sparsity_only()
+        if variant == "hybrid":
+            return self.config
+        raise ValueError(
+            f"unknown variant {variant!r}; expected one of {SPARSITY_VARIANTS}"
+        )
+
+    # ------------------------------------------------------------------
+    # Per-layer model
+    # ------------------------------------------------------------------
+    def run_layer(
+        self, profile: LayerSparsityProfile, variant: str = "hybrid"
+    ) -> LayerPerformance:
+        """Latency/energy of one layer under one configuration."""
+        config = self.variant_config(variant)
+        layer = profile.layer
+        mapping = map_layer(
+            layer,
+            config=config,
+            thresholds=profile.thresholds if config.weight_sparsity else None,
+            input_active_columns=(
+                profile.input_active_columns if config.input_sparsity else None
+            ),
+        )
+        cycles = mapping.total_cycles
+        cell_activations = mapping.total_cell_activations
+        if config.weight_sparsity:
+            # Cells hold Comp. Pattern blocks; padding slots are the only
+            # ineffective cells.
+            effective = cell_activations * profile.storage_utilization
+        else:
+            # Cells hold plain binary weights; only the non-zero bits do
+            # useful work.
+            effective = cell_activations * (1.0 - profile.weight_zero_bit_ratio_binary)
+        adder_ops = cell_activations
+        post_processing_ops = cycles * mapping.filters_per_pass
+        ipu_bits = layer.activation_count * config.macro.input_bits
+        weight_bytes = layer.weight_count * (1 if config.weight_sparsity else 1)
+        meta_bytes = (
+            layer.weight_count if config.weight_sparsity else 0
+        )
+        feature_bytes = layer.activation_count + layer.out_channels * layer.output_positions
+        energy = self.energy_model.layer_energy(
+            cycles=cycles,
+            cell_activations=cell_activations,
+            adder_tree_ops=adder_ops,
+            post_processing_ops=post_processing_ops,
+            ipu_bits=ipu_bits,
+            meta_rf_bytes=meta_bytes,
+            buffer_bytes=weight_bytes + feature_bytes,
+        )
+        return LayerPerformance(
+            layer=layer,
+            cycles=cycles,
+            cell_activations=cell_activations,
+            effective_cell_activations=effective,
+            energy=energy,
+            macs=layer.macs,
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-model model
+    # ------------------------------------------------------------------
+    def run_model(
+        self, profile: ModelSparsityProfile, variant: str = "hybrid"
+    ) -> ModelPerformance:
+        """Latency/energy of a whole workload under one configuration."""
+        performance = ModelPerformance(
+            name=profile.workload.name, variant=variant
+        )
+        for layer_profile in profile.layers:
+            performance.layers.append(self.run_layer(layer_profile, variant))
+        return performance
+
+    def run_all_variants(
+        self, profile: ModelSparsityProfile
+    ) -> Dict[str, ModelPerformance]:
+        """Run the four Fig. 7 configurations for one workload."""
+        return {
+            variant: self.run_model(profile, variant)
+            for variant in SPARSITY_VARIANTS
+        }
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @staticmethod
+    def speedup(
+        baseline: ModelPerformance, improved: ModelPerformance
+    ) -> float:
+        """Cycle-count speedup of ``improved`` over ``baseline``."""
+        if improved.total_cycles <= 0:
+            raise ValueError("improved configuration reports zero cycles")
+        return baseline.total_cycles / improved.total_cycles
+
+    @staticmethod
+    def energy_saving(
+        baseline: ModelPerformance, improved: ModelPerformance
+    ) -> float:
+        """Fractional energy saving of ``improved`` over ``baseline``."""
+        if baseline.total_energy_pj <= 0:
+            raise ValueError("baseline configuration reports zero energy")
+        return 1.0 - improved.total_energy_pj / baseline.total_energy_pj

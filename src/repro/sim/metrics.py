@@ -1,0 +1,113 @@
+"""System-level metrics: throughput, energy efficiency, utilisation.
+
+These are the quantities of Table 3 ("Detailed Comparisons with Related
+Works"): peak throughput, peak throughput per macro, energy efficiency in
+TOPS/W and energy efficiency per unit area, plus the actual utilisation
+``U_act`` already tracked by the cycle model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..arch.area import AreaModel
+from ..arch.config import DBPIMConfig
+from .cycle_model import ModelPerformance
+
+__all__ = ["SystemMetrics", "compute_metrics", "peak_throughput_tops"]
+
+
+def peak_throughput_tops(
+    config: DBPIMConfig, threshold: int = 2
+) -> float:
+    """Peak 8b/8b throughput in TOPS.
+
+    One 8b x 8b MAC counts as two operations (multiply + add), and a MAC of
+    one (filter, input) pair completes every ``input_bits`` broadcast cycles.
+    The dense baseline processes ``dense_filters_per_macro`` filters per
+    macro; DB-PIM processes ``columns / φ_th``.
+
+    Args:
+        config: hardware configuration (sparsity flags select the mode).
+        threshold: the ``φ_th`` assumed for the peak number (2 is the
+            guaranteed-supported configuration; 1 doubles the peak).
+    """
+    macro = config.macro
+    if config.weight_sparsity:
+        filters = macro.sparse_filters_per_macro(threshold)
+    else:
+        filters = macro.dense_filters_per_macro
+    macs_per_cycle = filters * macro.rows / macro.input_bits * config.num_macros
+    ops_per_second = 2 * macs_per_cycle * config.clock.frequency_mhz * 1e6
+    return ops_per_second / 1e12
+
+
+@dataclass(frozen=True)
+class SystemMetrics:
+    """The Table 3 metrics of one configuration running one workload."""
+
+    name: str
+    variant: str
+    actual_utilization: float
+    latency_cycles: float
+    latency_ms: float
+    energy_uj: float
+    peak_tops: float
+    peak_gops_per_macro: float
+    effective_tops: float
+    tops_per_watt: float
+    tops_per_watt_per_mm2: float
+    area_mm2: float
+
+
+def compute_metrics(
+    performance: ModelPerformance,
+    config: Optional[DBPIMConfig] = None,
+    area_model: Optional[AreaModel] = None,
+    peak_threshold: int = 2,
+) -> SystemMetrics:
+    """Derive the Table 3 metrics from a cycle-model run.
+
+    Args:
+        performance: output of :meth:`CycleModel.run_model`.
+        config: the configuration the run used (DB-PIM default).
+        area_model: area model used for the per-area efficiency.
+        peak_threshold: ``φ_th`` assumed for the peak-throughput number.
+    """
+    config = config or DBPIMConfig()
+    area_model = area_model or AreaModel()
+    if performance.variant == "base":
+        variant_config = config.dense_baseline()
+    elif performance.variant == "input":
+        variant_config = config.input_sparsity_only()
+    elif performance.variant == "weight":
+        variant_config = config.weight_sparsity_only()
+    else:
+        variant_config = config
+
+    cycles = performance.total_cycles
+    frequency_hz = variant_config.clock.frequency_mhz * 1e6
+    latency_s = cycles / frequency_hz if frequency_hz else float("inf")
+    energy_j = performance.total_energy_pj * 1e-12
+    total_ops = 2.0 * performance.total_macs
+
+    peak = peak_throughput_tops(variant_config, peak_threshold)
+    effective_tops = (total_ops / latency_s) / 1e12 if latency_s > 0 else 0.0
+    tops_per_watt = (total_ops / energy_j) / 1e12 if energy_j > 0 else 0.0
+    area = area_model.breakdown(variant_config).total_mm2
+
+    return SystemMetrics(
+        name=performance.name,
+        variant=performance.variant,
+        actual_utilization=performance.actual_utilization,
+        latency_cycles=cycles,
+        latency_ms=latency_s * 1e3,
+        energy_uj=energy_j * 1e6,
+        peak_tops=peak,
+        peak_gops_per_macro=peak * 1e3 / variant_config.num_macros,
+        effective_tops=effective_tops,
+        tops_per_watt=tops_per_watt,
+        tops_per_watt_per_mm2=(tops_per_watt / area) if area > 0 else 0.0,
+        area_mm2=area,
+    )

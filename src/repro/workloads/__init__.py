@@ -1,0 +1,27 @@
+"""Workload descriptors and sparsity profiles of the paper's networks."""
+
+from .layers import LayerKind, LayerShape
+from .models import PAPER_MODELS, ModelWorkload, get_workload, list_workloads
+from .profiles import (
+    LayerSparsityProfile,
+    ModelSparsityProfile,
+    profile_layer,
+    profile_model,
+    synthesize_activations,
+    synthesize_layer_weights,
+)
+
+__all__ = [
+    "LayerKind",
+    "LayerShape",
+    "ModelWorkload",
+    "PAPER_MODELS",
+    "get_workload",
+    "list_workloads",
+    "LayerSparsityProfile",
+    "ModelSparsityProfile",
+    "profile_layer",
+    "profile_model",
+    "synthesize_activations",
+    "synthesize_layer_weights",
+]

@@ -1,0 +1,107 @@
+"""Layer shape descriptors for the performance model.
+
+A :class:`LayerShape` captures everything the mapper / cycle model needs to
+know about a layer: its type (standard, depthwise or fully connected), the
+channel and kernel geometry and the spatial size of its input.  The full
+networks of the paper are described as lists of these records in
+:mod:`repro.workloads.models`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LayerKind", "LayerShape"]
+
+
+class LayerKind:
+    """Layer type constants."""
+
+    CONV = "conv"
+    DEPTHWISE = "depthwise"
+    LINEAR = "linear"
+
+    _ALL = (CONV, DEPTHWISE, LINEAR)
+
+    @classmethod
+    def validate(cls, kind: str) -> str:
+        if kind not in cls._ALL:
+            raise ValueError(f"unknown layer kind {kind!r}; expected one of {cls._ALL}")
+        return kind
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """Shape of one weighted layer.
+
+    Attributes:
+        name: layer name (unique within its model).
+        kind: one of :class:`LayerKind`.
+        in_channels: input channels (input features for a linear layer).
+        out_channels: output channels / filters (output features for linear).
+        kernel_size: spatial kernel size (1 for linear layers).
+        stride: spatial stride (1 for linear layers).
+        input_size: input spatial resolution (1 for linear layers).
+        padding: spatial padding.
+    """
+
+    name: str
+    kind: str
+    in_channels: int
+    out_channels: int
+    kernel_size: int = 1
+    stride: int = 1
+    input_size: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        LayerKind.validate(self.kind)
+        if min(self.in_channels, self.out_channels) <= 0:
+            raise ValueError("channel counts must be positive")
+        if min(self.kernel_size, self.stride, self.input_size) <= 0:
+            raise ValueError("kernel, stride and input size must be positive")
+        if self.padding < 0:
+            raise ValueError("padding must be non-negative")
+        if self.kind == LayerKind.DEPTHWISE and self.in_channels != self.out_channels:
+            raise ValueError("depthwise layers must preserve the channel count")
+
+    @property
+    def output_size(self) -> int:
+        """Output spatial resolution."""
+        if self.kind == LayerKind.LINEAR:
+            return 1
+        out = (self.input_size + 2 * self.padding - self.kernel_size) // self.stride + 1
+        if out <= 0:
+            raise ValueError(f"layer {self.name} has a non-positive output size")
+        return out
+
+    @property
+    def output_positions(self) -> int:
+        """Number of output pixels (1 for linear layers)."""
+        return self.output_size * self.output_size
+
+    @property
+    def reduction_size(self) -> int:
+        """Elements reduced per output value (the dot-product length)."""
+        if self.kind == LayerKind.LINEAR:
+            return self.in_channels
+        if self.kind == LayerKind.DEPTHWISE:
+            return self.kernel_size * self.kernel_size
+        return self.in_channels * self.kernel_size * self.kernel_size
+
+    @property
+    def weight_count(self) -> int:
+        """Number of weights in the layer."""
+        return self.out_channels * self.reduction_size
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations of one inference."""
+        return self.output_positions * self.out_channels * self.reduction_size
+
+    @property
+    def activation_count(self) -> int:
+        """Input activations read by one inference (before im2col reuse)."""
+        if self.kind == LayerKind.LINEAR:
+            return self.in_channels
+        return self.in_channels * self.input_size * self.input_size

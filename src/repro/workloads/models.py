@@ -1,0 +1,244 @@
+"""Full-size layer tables of the paper's five evaluation networks.
+
+These are the CIFAR-style (32x32 input) variants of AlexNet, VGG-19,
+ResNet-18, MobileNetV2 and EfficientNet-B0 -- the layer geometries that the
+cycle-level performance model maps onto the accelerator.  Channel counts and
+strides follow the standard CIFAR adaptations of each architecture; 1x1
+downsampling shortcuts and squeeze-excite layers are omitted because their
+contribution to total MACs is negligible for the speedup/energy trends the
+experiments reproduce.
+
+Every model also carries a ``redundancy`` knob in 0..1 used by
+:mod:`repro.workloads.profiles` when synthesising representative weights:
+standard over-parameterised networks (AlexNet, VGG) have most of their
+quantized weights near zero (high redundancy → FTA thresholds mostly 1),
+while compact networks (MobileNetV2, EfficientNet-B0) spread their weight
+energy much more evenly (low redundancy → thresholds mostly 2).  This mirrors
+the weight-distribution observation the paper builds the FTA algorithm on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .layers import LayerKind, LayerShape
+
+__all__ = ["ModelWorkload", "PAPER_MODELS", "get_workload", "list_workloads"]
+
+
+@dataclass(frozen=True)
+class ModelWorkload:
+    """A named network described as a list of weighted layers.
+
+    Attributes:
+        name: paper name of the model (e.g. ``"alexnet"``).
+        layers: weighted layers in execution order.
+        redundancy: 0..1 knob describing how concentrated the weight
+            distribution is (see module docstring).
+        activation_density: 0..1 typical fraction of non-zero activation
+            values feeding the layers (post-ReLU), used when synthesising
+            representative input features.
+    """
+
+    name: str
+    layers: Tuple[LayerShape, ...]
+    redundancy: float
+    activation_density: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.redundancy <= 1.0:
+            raise ValueError("redundancy must be in [0, 1]")
+        if not 0.0 < self.activation_density <= 1.0:
+            raise ValueError("activation_density must be in (0, 1]")
+        if not self.layers:
+            raise ValueError("a workload needs at least one layer")
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weights(self) -> int:
+        return sum(layer.weight_count for layer in self.layers)
+
+
+def _conv(name, cin, cout, k, size, stride=1, padding=None) -> LayerShape:
+    if padding is None:
+        padding = k // 2
+    return LayerShape(
+        name=name,
+        kind=LayerKind.CONV,
+        in_channels=cin,
+        out_channels=cout,
+        kernel_size=k,
+        stride=stride,
+        input_size=size,
+        padding=padding,
+    )
+
+
+def _dw(name, channels, k, size, stride=1) -> LayerShape:
+    return LayerShape(
+        name=name,
+        kind=LayerKind.DEPTHWISE,
+        in_channels=channels,
+        out_channels=channels,
+        kernel_size=k,
+        stride=stride,
+        input_size=size,
+        padding=k // 2,
+    )
+
+
+def _fc(name, cin, cout) -> LayerShape:
+    return LayerShape(
+        name=name, kind=LayerKind.LINEAR, in_channels=cin, out_channels=cout
+    )
+
+
+def _alexnet() -> ModelWorkload:
+    layers = (
+        _conv("conv1", 3, 64, 3, 32),
+        _conv("conv2", 64, 192, 3, 16),
+        _conv("conv3", 192, 384, 3, 8),
+        _conv("conv4", 384, 256, 3, 8),
+        _conv("conv5", 256, 256, 3, 8),
+        _fc("fc6", 256 * 4 * 4, 4096),
+        _fc("fc7", 4096, 4096),
+        _fc("fc8", 4096, 100),
+    )
+    return ModelWorkload("alexnet", layers, redundancy=0.92, activation_density=0.45)
+
+
+def _vgg19() -> ModelWorkload:
+    spec = [
+        (3, 64, 32),
+        (64, 64, 32),
+        (64, 128, 16),
+        (128, 128, 16),
+        (128, 256, 8),
+        (256, 256, 8),
+        (256, 256, 8),
+        (256, 256, 8),
+        (256, 512, 4),
+        (512, 512, 4),
+        (512, 512, 4),
+        (512, 512, 4),
+        (512, 512, 2),
+        (512, 512, 2),
+        (512, 512, 2),
+        (512, 512, 2),
+    ]
+    layers: List[LayerShape] = [
+        _conv(f"conv{i + 1}", cin, cout, 3, size) for i, (cin, cout, size) in enumerate(spec)
+    ]
+    layers.append(_fc("fc1", 512, 512))
+    layers.append(_fc("fc2", 512, 100))
+    return ModelWorkload("vgg19", tuple(layers), redundancy=0.78, activation_density=0.5)
+
+
+def _resnet18() -> ModelWorkload:
+    layers: List[LayerShape] = [_conv("stem", 3, 64, 3, 32)]
+    stage_spec = [
+        ("layer1", 64, 64, 32, 1),
+        ("layer2", 64, 128, 32, 2),
+        ("layer3", 128, 256, 16, 2),
+        ("layer4", 256, 512, 8, 2),
+    ]
+    for name, cin, cout, size, stride in stage_spec:
+        layers.append(_conv(f"{name}.0.conv1", cin, cout, 3, size, stride=stride))
+        out_size = size // stride
+        layers.append(_conv(f"{name}.0.conv2", cout, cout, 3, out_size))
+        layers.append(_conv(f"{name}.1.conv1", cout, cout, 3, out_size))
+        layers.append(_conv(f"{name}.1.conv2", cout, cout, 3, out_size))
+    layers.append(_fc("fc", 512, 100))
+    return ModelWorkload("resnet18", tuple(layers), redundancy=0.7, activation_density=0.5)
+
+
+def _mobilenetv2() -> ModelWorkload:
+    layers: List[LayerShape] = [_conv("stem", 3, 32, 3, 32)]
+    # (expansion, cout, repeats, stride) per stage, CIFAR strides.
+    stages = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 1),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ]
+    cin, size = 32, 32
+    for stage_index, (expansion, cout, repeats, stride) in enumerate(stages):
+        for repeat in range(repeats):
+            block_stride = stride if repeat == 0 else 1
+            hidden = cin * expansion
+            prefix = f"block{stage_index}.{repeat}"
+            if expansion != 1:
+                layers.append(_conv(f"{prefix}.expand", cin, hidden, 1, size, padding=0))
+            layers.append(_dw(f"{prefix}.dw", hidden, 3, size, stride=block_stride))
+            size = size // block_stride
+            layers.append(_conv(f"{prefix}.project", hidden, cout, 1, size, padding=0))
+            cin = cout
+    layers.append(_conv("head", cin, 1280, 1, size, padding=0))
+    layers.append(_fc("classifier", 1280, 100))
+    return ModelWorkload(
+        "mobilenetv2", tuple(layers), redundancy=0.42, activation_density=0.6
+    )
+
+
+def _efficientnet_b0() -> ModelWorkload:
+    layers: List[LayerShape] = [_conv("stem", 3, 32, 3, 32)]
+    # (expansion, cout, repeats, stride, kernel) per MBConv stage.
+    stages = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 1, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ]
+    cin, size = 32, 32
+    for stage_index, (expansion, cout, repeats, stride, kernel) in enumerate(stages):
+        for repeat in range(repeats):
+            block_stride = stride if repeat == 0 else 1
+            hidden = cin * expansion
+            prefix = f"mbconv{stage_index}.{repeat}"
+            if expansion != 1:
+                layers.append(_conv(f"{prefix}.expand", cin, hidden, 1, size, padding=0))
+            layers.append(_dw(f"{prefix}.dw", hidden, kernel, size, stride=block_stride))
+            size = size // block_stride
+            layers.append(_conv(f"{prefix}.project", hidden, cout, 1, size, padding=0))
+            cin = cout
+    layers.append(_conv("head", cin, 1280, 1, size, padding=0))
+    layers.append(_fc("classifier", 1280, 100))
+    return ModelWorkload(
+        "efficientnetb0", tuple(layers), redundancy=0.38, activation_density=0.65
+    )
+
+
+#: The five evaluation networks of the paper, keyed by name.
+PAPER_MODELS: Dict[str, ModelWorkload] = {
+    workload.name: workload
+    for workload in (
+        _alexnet(),
+        _vgg19(),
+        _resnet18(),
+        _mobilenetv2(),
+        _efficientnet_b0(),
+    )
+}
+
+
+def get_workload(name: str) -> ModelWorkload:
+    """Look a workload up by (case-insensitive) paper name."""
+    key = name.lower()
+    if key not in PAPER_MODELS:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(PAPER_MODELS)}")
+    return PAPER_MODELS[key]
+
+
+def list_workloads() -> List[str]:
+    """Names of all available workloads, in the paper's order."""
+    return list(PAPER_MODELS)

@@ -1,0 +1,130 @@
+"""Integration tests: layers executed end-to-end on the functional accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.arch.accelerator import DBPIMAccelerator
+from repro.arch.config import DBPIMConfig
+from repro.core.fta import approximate_layer
+
+
+@pytest.fixture()
+def small_problem():
+    rng = np.random.default_rng(0)
+    weights = rng.integers(-128, 128, size=(6, 48))
+    inputs = rng.integers(0, 200, size=48)
+    return weights, inputs
+
+
+class TestRunLinear:
+    def test_sparse_output_matches_fta_reference(self, small_problem):
+        weights, inputs = small_problem
+        accelerator = DBPIMAccelerator(DBPIMConfig())
+        result = accelerator.run_linear(weights, inputs)
+        expected = approximate_layer(weights).approximated @ inputs
+        np.testing.assert_array_equal(result.outputs, expected)
+        assert result.cycles > 0
+        assert result.tiles >= 1
+        assert 0.0 < result.utilization <= 1.0
+        assert result.energy.total_pj > 0
+
+    def test_dense_output_matches_exact_reference(self, small_problem):
+        weights, inputs = small_problem
+        accelerator = DBPIMAccelerator(DBPIMConfig().dense_baseline())
+        result = accelerator.run_linear(weights, inputs)
+        np.testing.assert_array_equal(result.outputs, weights @ inputs)
+
+    def test_pre_approximated_weights_are_not_modified(self, small_problem):
+        weights, inputs = small_problem
+        approximated = approximate_layer(weights).approximated
+        accelerator = DBPIMAccelerator(DBPIMConfig())
+        result = accelerator.run_linear(approximated, inputs, apply_fta=False)
+        np.testing.assert_array_equal(result.outputs, approximated @ inputs)
+
+    def test_sparse_uses_fewer_cycles_than_dense(self, small_problem):
+        weights, inputs = small_problem
+        sparse = DBPIMAccelerator(DBPIMConfig()).run_linear(weights, inputs)
+        dense = DBPIMAccelerator(DBPIMConfig().dense_baseline()).run_linear(
+            weights, inputs
+        )
+        assert sparse.cycles <= dense.cycles
+        assert sparse.energy.total_pj < dense.energy.total_pj
+
+    def test_weight_only_variant(self, small_problem):
+        weights, inputs = small_problem
+        config = DBPIMConfig().weight_sparsity_only()
+        result = DBPIMAccelerator(config).run_linear(weights, inputs)
+        expected = approximate_layer(weights).approximated @ inputs
+        np.testing.assert_array_equal(result.outputs, expected)
+
+    def test_shape_validation(self):
+        accelerator = DBPIMAccelerator()
+        with pytest.raises(ValueError):
+            accelerator.run_linear(np.ones((2, 4)), np.ones(3))
+        with pytest.raises(ValueError):
+            accelerator.run_linear(np.ones(4), np.ones(4))
+
+    def test_large_layer_is_tiled(self):
+        rng = np.random.default_rng(1)
+        weights = rng.integers(-64, 64, size=(40, 200))
+        inputs = rng.integers(0, 128, size=200)
+        accelerator = DBPIMAccelerator()
+        result = accelerator.run_linear(weights, inputs)
+        expected = approximate_layer(weights).approximated @ inputs
+        np.testing.assert_array_equal(result.outputs, expected)
+        assert result.tiles > 1
+
+    def test_buffer_traffic_recorded(self, small_problem):
+        weights, inputs = small_problem
+        accelerator = DBPIMAccelerator()
+        accelerator.run_linear(weights, inputs)
+        assert accelerator.buffers.feature.bytes_read > 0
+        assert accelerator.buffers.weight.bytes_read > 0
+        assert accelerator.buffers.meta.bytes_read > 0
+
+
+class TestRunConv2D:
+    def test_matches_integer_convolution(self):
+        rng = np.random.default_rng(2)
+        weights = rng.integers(-64, 64, size=(4, 3, 3, 3))
+        feature_map = rng.integers(0, 64, size=(3, 6, 6))
+        accelerator = DBPIMAccelerator(DBPIMConfig().dense_baseline())
+        result = accelerator.run_conv2d(weights, feature_map, stride=1, padding=1)
+        expected = _reference_conv(weights, feature_map, stride=1, padding=1)
+        np.testing.assert_array_equal(result.outputs, expected)
+
+    def test_sparse_conv_matches_fta_convolution(self):
+        rng = np.random.default_rng(3)
+        weights = rng.integers(-64, 64, size=(4, 2, 3, 3))
+        feature_map = rng.integers(0, 64, size=(2, 5, 5))
+        accelerator = DBPIMAccelerator(DBPIMConfig())
+        result = accelerator.run_conv2d(weights, feature_map, stride=1, padding=0)
+        fta_weights = (
+            approximate_layer(weights.reshape(4, -1)).approximated.reshape(weights.shape)
+        )
+        expected = _reference_conv(fta_weights, feature_map, stride=1, padding=0)
+        np.testing.assert_array_equal(result.outputs, expected)
+
+    def test_shape_validation(self):
+        accelerator = DBPIMAccelerator()
+        with pytest.raises(ValueError):
+            accelerator.run_conv2d(np.ones((2, 2, 3, 3)), np.ones((3, 4, 4)))
+        with pytest.raises(ValueError):
+            accelerator.run_conv2d(np.ones((2, 2, 3)), np.ones((2, 4, 4)))
+
+
+def _reference_conv(weights, feature_map, stride, padding):
+    out_channels, in_channels, kernel, _ = weights.shape
+    padded = np.pad(feature_map, ((0, 0), (padding, padding), (padding, padding)))
+    height, width = padded.shape[1:]
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    output = np.zeros((out_channels, out_h, out_w), dtype=np.int64)
+    for oc in range(out_channels):
+        for oy in range(out_h):
+            for ox in range(out_w):
+                patch = padded[
+                    :, oy * stride : oy * stride + kernel, ox * stride : ox * stride + kernel
+                ]
+                output[oc, oy, ox] = np.sum(patch * weights[oc])
+    return output

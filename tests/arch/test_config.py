@@ -1,0 +1,69 @@
+"""Tests for the hardware configuration dataclasses."""
+
+import pytest
+
+from repro.arch.config import BufferConfig, ClockConfig, DBPIMConfig, MacroConfig
+
+
+class TestMacroConfig:
+    def test_paper_defaults(self):
+        config = MacroConfig()
+        assert config.cells == 16 * 64 * 16
+        assert config.size_kilobits == 16.0
+        assert config.dense_filters_per_macro == 2
+        assert config.sparse_filters_per_macro(1) == 16
+        assert config.sparse_filters_per_macro(2) == 8
+
+    def test_zero_threshold_treated_as_one(self):
+        assert MacroConfig().sparse_filters_per_macro(0) == 16
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            MacroConfig(rows=0)
+        with pytest.raises(ValueError):
+            MacroConfig(columns=10, weight_bits=8)
+
+    def test_input_positions(self):
+        assert MacroConfig().input_positions == 1024
+
+
+class TestBufferConfig:
+    def test_paper_totals(self):
+        config = BufferConfig()
+        # 128 + 32 + 96 + 16 KB buffers + 4 x 6 KB meta RFs (+ output RF).
+        assert config.total_sram_bytes >= (128 + 32 + 96 + 16 + 24) * 1024
+        assert config.total_sram_bytes // 1024 == 296
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            BufferConfig(feature_buffer=0)
+
+
+class TestClockConfig:
+    def test_cycle_time(self):
+        assert ClockConfig(frequency_mhz=500).cycle_time_ns == pytest.approx(2.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ClockConfig(frequency_mhz=0)
+
+
+class TestDBPIMConfig:
+    def test_pim_size_matches_paper(self):
+        config = DBPIMConfig()
+        assert config.pim_size_kilobytes == pytest.approx(8.0)  # 4 x 16 Kb = 8 KB
+
+    def test_variants(self):
+        config = DBPIMConfig()
+        dense = config.dense_baseline()
+        assert not dense.weight_sparsity and not dense.input_sparsity
+        weight_only = config.weight_sparsity_only()
+        assert weight_only.weight_sparsity and not weight_only.input_sparsity
+        input_only = config.input_sparsity_only()
+        assert not input_only.weight_sparsity and input_only.input_sparsity
+        # The original configuration is untouched.
+        assert config.weight_sparsity and config.input_sparsity
+
+    def test_invalid_macro_count(self):
+        with pytest.raises(ValueError):
+            DBPIMConfig(num_macros=0)

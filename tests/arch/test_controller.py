@@ -1,0 +1,72 @@
+"""Tests for the top controller and its link to the compiler."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import BufferConfig, DBPIMConfig
+from repro.arch.controller import TopController
+from repro.compiler.codegen import generate_layer_program
+from repro.compiler.isa import Opcode, Program
+from repro.compiler.mapping import map_layer
+from repro.workloads.layers import LayerKind, LayerShape
+
+
+@pytest.fixture()
+def fc_layer():
+    return LayerShape(
+        name="fc", kind=LayerKind.LINEAR, in_channels=512, out_channels=64
+    )
+
+
+class TestTopController:
+    def test_executes_generated_program(self, fc_layer):
+        config = DBPIMConfig().dense_baseline()
+        program = generate_layer_program(fc_layer, config)
+        summary = TopController(config).execute(program)
+        mapping = map_layer(fc_layer, config)
+        assert summary.instructions == len(program)
+        assert summary.weight_loads == mapping.filter_iterations
+        # The broadcast cycles dispatched by the controller equal the cycle
+        # count the mapping predicts for the layer.
+        assert summary.broadcast_cycles == pytest.approx(mapping.total_cycles)
+        assert summary.write_back_elements == fc_layer.out_channels
+
+    def test_sparse_program_dispatch(self, fc_layer):
+        config = DBPIMConfig()
+        thresholds = np.ones(fc_layer.out_channels, dtype=np.int64)
+        program = generate_layer_program(
+            fc_layer, config, thresholds=thresholds, input_active_columns=5.0
+        )
+        summary = TopController(config).execute(program)
+        assert summary.metadata_loads >= 1
+        dense_summary = TopController(config).execute(
+            generate_layer_program(fc_layer, config.dense_baseline())
+        )
+        assert summary.broadcast_cycles < dense_summary.broadcast_cycles
+
+    def test_instruction_buffer_overflow_rejected(self, fc_layer):
+        tiny = DBPIMConfig(
+            buffers=BufferConfig(instruction_buffer=16)
+        ).dense_baseline()
+        program = generate_layer_program(fc_layer, tiny)
+        with pytest.raises(ValueError):
+            TopController(tiny).execute(program)
+
+    def test_invalid_operands_rejected(self):
+        controller = TopController()
+        bad_repeat = Program()
+        bad_repeat.append(Opcode.BROADCAST, cycles=8, repeats=0)
+        with pytest.raises(ValueError):
+            controller.execute(bad_repeat)
+        bad_cycles = Program()
+        bad_cycles.append(Opcode.BROADCAST, cycles=-1)
+        with pytest.raises(ValueError):
+            controller.execute(bad_cycles)
+
+    def test_barrier_is_a_no_op(self):
+        program = Program()
+        program.append(Opcode.BARRIER)
+        summary = TopController().execute(program)
+        assert summary.instructions == 1
+        assert summary.broadcast_cycles == 0
+        assert summary.opcode_counts == {"barrier": 1}

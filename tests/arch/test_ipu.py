@@ -1,0 +1,122 @@
+"""Tests for the input pre-processing unit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.ipu import InputPreprocessingUnit
+
+
+class TestZeroColumnMask:
+    def test_all_zero_group(self):
+        ipu = InputPreprocessingUnit()
+        mask = ipu.zero_column_mask(np.zeros(16, dtype=np.int64))
+        assert mask.all()
+
+    def test_dense_group(self):
+        ipu = InputPreprocessingUnit()
+        mask = ipu.zero_column_mask(np.full(16, 255))
+        assert not mask.any()
+
+    def test_paper_figure_pattern(self):
+        # Fig. 6: a group whose OR is 0100_1101 has non-zero columns at
+        # positions 0, 2, 3 and 6.
+        ipu = InputPreprocessingUnit()
+        group = np.array([0b01001001, 0b00000100, 0b01001101] + [0] * 13)
+        mask = ipu.zero_column_mask(group)
+        nonzero_positions = [i for i in range(8) if not mask[i]]
+        assert nonzero_positions == [0, 2, 3, 6]
+
+    def test_rejects_out_of_range(self):
+        ipu = InputPreprocessingUnit()
+        with pytest.raises(ValueError):
+            ipu.zero_column_mask(np.array([256]))
+        with pytest.raises(ValueError):
+            ipu.zero_column_mask(np.array([-1]))
+        with pytest.raises(ValueError):
+            ipu.zero_column_mask(np.array([], dtype=np.int64))
+
+
+class TestColumns:
+    def test_nonzero_columns_msb_first(self):
+        ipu = InputPreprocessingUnit()
+        group = np.array([0b01001101] + [0] * 15)
+        columns = ipu.nonzero_columns(group)
+        assert [c.position for c in columns] == [6, 3, 2, 0]
+        assert columns[0].bits[0] == 1
+        assert columns[0].bits[1] == 0
+
+    def test_all_columns_dense_mode(self):
+        ipu = InputPreprocessingUnit()
+        columns = ipu.all_columns(np.array([1, 2, 3]))
+        assert len(columns) == 8
+        assert [c.position for c in columns] == list(range(7, -1, -1))
+
+    def test_broadcast_cycles(self):
+        ipu = InputPreprocessingUnit()
+        group = np.array([0x0F] * 16)
+        assert ipu.broadcast_cycles(group) == 4
+        assert ipu.broadcast_cycles(group, skip_zero_columns=False) == 8
+
+    def test_columns_reconstruct_values(self):
+        ipu = InputPreprocessingUnit()
+        rng = np.random.default_rng(0)
+        group = rng.integers(0, 256, size=16)
+        columns = ipu.nonzero_columns(group)
+        reconstructed = np.zeros(16, dtype=np.int64)
+        for column in columns:
+            reconstructed += column.bits << column.position
+        np.testing.assert_array_equal(reconstructed, group)
+
+
+class TestGroupsAndAverages:
+    def test_iter_groups(self):
+        ipu = InputPreprocessingUnit(group_size=4)
+        inputs = np.arange(10)
+        groups = list(ipu.iter_groups(inputs))
+        assert [start for start, _ in groups] == [0, 4, 8]
+        assert groups[-1][1].size == 2
+
+    def test_average_active_columns_bounds(self):
+        ipu = InputPreprocessingUnit()
+        rng = np.random.default_rng(1)
+        activations = rng.integers(0, 32, size=256)
+        average = ipu.average_active_columns(activations)
+        assert 0 <= average <= 8
+        assert ipu.average_active_columns(activations, skip_zero_columns=False) == 8.0
+
+    def test_sparser_inputs_need_fewer_cycles(self):
+        ipu = InputPreprocessingUnit()
+        rng = np.random.default_rng(2)
+        small = rng.integers(0, 16, size=512)
+        large = rng.integers(0, 256, size=512)
+        assert ipu.average_active_columns(small) <= ipu.average_active_columns(large)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            InputPreprocessingUnit(input_bits=0)
+        with pytest.raises(ValueError):
+            InputPreprocessingUnit(group_size=0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=16))
+def test_property_skipped_columns_are_truly_zero(values):
+    ipu = InputPreprocessingUnit()
+    group = np.asarray(values)
+    mask = ipu.zero_column_mask(group)
+    for position in range(8):
+        column_bits = (group >> position) & 1
+        if mask[position]:
+            assert not column_bits.any()
+        else:
+            assert column_bits.any()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=16))
+def test_property_cycle_count_matches_mask(values):
+    ipu = InputPreprocessingUnit()
+    group = np.asarray(values)
+    assert ipu.broadcast_cycles(group) == int((~ipu.zero_column_mask(group)).sum())

@@ -1,0 +1,196 @@
+"""Tests for the adder tree, post-processing units and the PIM macro."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.adder_tree import CSDAdderTree, PostProcessingUnit
+from repro.arch.config import MacroConfig
+from repro.arch.macro import PIMMacro
+from repro.core.fta import approximate_layer
+
+
+class TestCSDAdderTree:
+    def test_paper_example(self):
+        # f0(0) = 0001_0000 (16, block index 2, sign +) and
+        # f0(1) = -1000_0000 (-128, block index 3 high, sign -): with both
+        # input bits equal to 1 the correct sum is 16 - 128 = -112.
+        total = CSDAdderTree.reduce(
+            and_results=[1, 1], signs=[1, -1], bit_positions=[4, 7]
+        )
+        assert total == 16 - 128
+
+    def test_zero_and_results_contribute_nothing(self):
+        assert CSDAdderTree.reduce([0, 0], [1, -1], [3, 5]) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CSDAdderTree.reduce([1], [1, -1], [0, 1])
+        with pytest.raises(ValueError):
+            CSDAdderTree.reduce([2], [1], [0])
+        with pytest.raises(ValueError):
+            CSDAdderTree.reduce([1], [0], [0])
+        with pytest.raises(ValueError):
+            CSDAdderTree.reduce([1], [1], [-1])
+
+    def test_reduce_array_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        and_results = rng.integers(0, 2, size=10)
+        signs = rng.choice([-1, 1], size=10)
+        positions = rng.integers(0, 8, size=10)
+        expected = CSDAdderTree.reduce(
+            list(and_results), list(signs), list(positions)
+        )
+        assert CSDAdderTree.reduce_array(and_results, signs, positions) == expected
+
+
+class TestPostProcessingUnit:
+    def test_shift_and_add(self):
+        unit = PostProcessingUnit()
+        unit.accumulate(3, 0)
+        unit.accumulate(3, 1)
+        assert unit.accumulator == 3 + 6
+        assert unit.shift_add_operations == 2
+        assert unit.reset() == 9
+        assert unit.accumulator == 0
+
+    def test_negative_partial_sums(self):
+        unit = PostProcessingUnit()
+        unit.accumulate(-5, 2)
+        assert unit.accumulator == -20
+
+    def test_invalid_shift(self):
+        with pytest.raises(ValueError):
+            PostProcessingUnit().accumulate(1, -1)
+
+
+class TestPIMMacroSparse:
+    def _fta(self, weights):
+        return approximate_layer(np.asarray(weights)).approximated
+
+    def test_matvec_matches_integer_reference(self):
+        rng = np.random.default_rng(1)
+        weights = self._fta(rng.integers(-128, 128, size=(8, 64)))
+        inputs = rng.integers(0, 256, size=64)
+        macro = PIMMacro()
+        macro.load_weights_sparse(weights)
+        outputs, stats = macro.matvec(inputs)
+        np.testing.assert_array_equal(outputs, weights @ inputs)
+        assert stats.broadcast_cycles > 0
+
+    def test_skipping_preserves_results(self):
+        rng = np.random.default_rng(2)
+        weights = self._fta(rng.integers(-128, 128, size=(4, 32)))
+        inputs = rng.integers(0, 16, size=32)  # sparse high bits
+        macro = PIMMacro()
+        macro.load_weights_sparse(weights)
+        with_skip, stats_skip = macro.matvec(inputs, skip_zero_columns=True)
+        without_skip, stats_dense = macro.matvec(inputs, skip_zero_columns=False)
+        np.testing.assert_array_equal(with_skip, without_skip)
+        assert stats_skip.broadcast_cycles < stats_dense.broadcast_cycles
+
+    def test_utilization_high_for_fta_weights(self):
+        rng = np.random.default_rng(3)
+        weights = self._fta(rng.integers(-128, 128, size=(8, 64)))
+        macro = PIMMacro()
+        macro.load_weights_sparse(weights)
+        assert macro.storage_utilization > 0.5
+        _, stats = macro.matvec(rng.integers(0, 256, size=64))
+        assert stats.actual_utilization > 0.5
+
+    def test_capacity_checks(self):
+        macro = PIMMacro()
+        too_many_filters = np.ones((20, 8), dtype=np.int64)
+        with pytest.raises(ValueError):
+            macro.load_weights_sparse(too_many_filters, allocation=1)
+        too_many_inputs = np.ones((2, 2000), dtype=np.int64)
+        with pytest.raises(ValueError):
+            macro.load_weights_sparse(too_many_inputs)
+
+    def test_unapproximated_weights_rejected_for_small_allocation(self):
+        macro = PIMMacro()
+        weights = np.array([[85, 85]])  # φ = 4 each
+        with pytest.raises(ValueError):
+            macro.load_weights_sparse(weights, allocation=2)
+
+    def test_matvec_requires_loaded_weights(self):
+        with pytest.raises(RuntimeError):
+            PIMMacro().matvec(np.zeros(4, dtype=np.int64))
+
+    def test_input_length_checked(self):
+        macro = PIMMacro()
+        macro.load_weights_sparse(np.ones((2, 8), dtype=np.int64))
+        with pytest.raises(ValueError):
+            macro.matvec(np.zeros(4, dtype=np.int64))
+
+
+class TestPIMMacroDense:
+    def test_matvec_matches_integer_reference(self):
+        rng = np.random.default_rng(4)
+        weights = rng.integers(-128, 128, size=(2, 64))
+        inputs = rng.integers(0, 256, size=64)
+        macro = PIMMacro()
+        macro.load_weights_dense(weights)
+        outputs, stats = macro.matvec(inputs, skip_zero_columns=False)
+        np.testing.assert_array_equal(outputs, weights @ inputs)
+        # Dense pass over 4 groups of 16 inputs x 8 bit columns.
+        assert stats.broadcast_cycles == 32
+
+    def test_dense_capacity(self):
+        macro = PIMMacro()
+        with pytest.raises(ValueError):
+            macro.load_weights_dense(np.ones((3, 8), dtype=np.int64))
+        with pytest.raises(ValueError):
+            macro.load_weights_dense(np.full((2, 8), 300))
+
+    def test_dense_utilization_is_low(self):
+        rng = np.random.default_rng(5)
+        weights = rng.integers(-64, 64, size=(2, 64))
+        macro = PIMMacro()
+        macro.load_weights_dense(weights)
+        _, stats = macro.matvec(rng.integers(0, 256, size=64), skip_zero_columns=False)
+        assert stats.actual_utilization < 0.7
+
+    def test_sparse_beats_dense_utilization(self):
+        rng = np.random.default_rng(6)
+        raw = rng.integers(-128, 128, size=(2, 64))
+        fta = approximate_layer(raw).approximated
+        inputs = rng.integers(0, 256, size=64)
+        dense_macro = PIMMacro()
+        dense_macro.load_weights_dense(raw)
+        _, dense_stats = dense_macro.matvec(inputs, skip_zero_columns=False)
+        sparse_macro = PIMMacro()
+        sparse_macro.load_weights_sparse(fta)
+        _, sparse_stats = sparse_macro.matvec(inputs, skip_zero_columns=False)
+        assert sparse_stats.actual_utilization > dense_stats.actual_utilization
+
+
+class TestMacroGeometryInteraction:
+    def test_filters_capacity_depends_on_threshold(self):
+        config = MacroConfig()
+        macro = PIMMacro(config)
+        weights_phi1 = np.diag(np.full(16, 64))  # one block per weight
+        macro.load_weights_sparse(weights_phi1, allocation=1)
+        assert macro.mode == "sparse"
+        macro_two = PIMMacro(config)
+        with pytest.raises(ValueError):
+            macro_two.load_weights_sparse(np.ones((16, 4), dtype=np.int64) * 3, allocation=2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=48),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_property_sparse_macro_is_exact(num_filters, num_inputs, seed):
+    rng = np.random.default_rng(seed)
+    weights = approximate_layer(
+        rng.integers(-128, 128, size=(num_filters, num_inputs))
+    ).approximated
+    inputs = rng.integers(0, 256, size=num_inputs)
+    macro = PIMMacro()
+    macro.load_weights_sparse(weights)
+    outputs, _ = macro.matvec(inputs)
+    np.testing.assert_array_equal(outputs, weights @ inputs)

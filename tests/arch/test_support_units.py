@@ -1,0 +1,146 @@
+"""Tests for buffers, the SIMD core, and the energy / area models."""
+
+import numpy as np
+import pytest
+
+from repro.arch.area import AreaLibrary, AreaModel
+from repro.arch.buffers import Buffer, BufferSet
+from repro.arch.config import BufferConfig, DBPIMConfig
+from repro.arch.energy import EnergyBreakdown, EnergyLibrary, EnergyModel
+from repro.arch.simd import SIMDCore
+
+
+class TestBuffer:
+    def test_access_counting(self):
+        buffer = Buffer("test", 1024)
+        buffer.write(100)
+        buffer.read(40)
+        buffer.free(60)
+        assert buffer.bytes_written == 100
+        assert buffer.bytes_read == 40
+        assert buffer.total_accesses_bytes == 140
+        assert buffer.peak_occupancy == 100
+
+    def test_fits(self):
+        buffer = Buffer("test", 128)
+        assert buffer.fits(128)
+        assert not buffer.fits(129)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Buffer("bad", 0)
+        with pytest.raises(ValueError):
+            Buffer("test", 8).write(-1)
+
+    def test_buffer_set_matches_config(self):
+        buffers = BufferSet(BufferConfig())
+        assert buffers.feature.capacity_bytes == 128 * 1024
+        assert buffers.meta_rf.capacity_bytes == 4 * 6 * 1024
+        assert set(buffers.all()) == {
+            "feature_buffer",
+            "weight_buffer",
+            "meta_buffer",
+            "instruction_buffer",
+            "meta_rf",
+            "output_rf",
+        }
+        buffers.weight.read(10)
+        assert buffers.total_access_bytes() == 10
+
+
+class TestSIMDCore:
+    def test_operations_counted(self):
+        simd = SIMDCore(lanes=4)
+        simd.add(np.ones(8), np.ones(8))
+        simd.relu(np.ones(8) * -1)
+        assert simd.operations == 16
+        assert simd.cycles == 4
+
+    def test_requantize(self):
+        simd = SIMDCore()
+        result = simd.requantize(np.array([1000, -50, 10]), scale=0.1)
+        assert result.tolist() == [100, 0, 1]
+        with pytest.raises(ValueError):
+            simd.requantize(np.array([1]), 0.1, num_bits=0)
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            SIMDCore(lanes=0)
+
+
+class TestEnergyModel:
+    def test_breakdown_totals(self):
+        model = EnergyModel()
+        breakdown = model.layer_energy(
+            cycles=100,
+            cell_activations=1000,
+            adder_tree_ops=500,
+            post_processing_ops=200,
+            ipu_bits=800,
+            meta_rf_bytes=64,
+            buffer_bytes=256,
+        )
+        assert breakdown.total_pj > 0
+        assert breakdown.total_uj == pytest.approx(breakdown.total_pj * 1e-6)
+        assert set(breakdown.as_dict()) == {
+            "macro_compute",
+            "adder_tree",
+            "post_processing",
+            "ipu",
+            "meta_rf",
+            "buffers",
+            "control",
+            "leakage",
+        }
+
+    def test_energy_scales_with_activity(self):
+        model = EnergyModel()
+        small = model.layer_energy(10, 100, 50, 20, 80, 8, 32)
+        large = model.layer_energy(20, 200, 100, 40, 160, 16, 64)
+        assert large.total_pj == pytest.approx(2 * small.total_pj)
+
+    def test_energy_saving(self):
+        baseline = EnergyBreakdown(macro_compute=100.0)
+        improved = EnergyBreakdown(macro_compute=25.0)
+        assert EnergyModel.energy_saving(baseline, improved) == pytest.approx(0.75)
+        with pytest.raises(ValueError):
+            EnergyModel.energy_saving(EnergyBreakdown(), improved)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().layer_energy(-1, 0, 0, 0, 0, 0, 0)
+
+    def test_invalid_library(self):
+        with pytest.raises(ValueError):
+            EnergyLibrary(cell_activation_pj=-1)
+
+    def test_merge(self):
+        a = EnergyBreakdown(macro_compute=1.0, buffers=2.0)
+        b = EnergyBreakdown(macro_compute=3.0, control=4.0)
+        a.merge(b)
+        assert a.macro_compute == 4.0
+        assert a.buffers == 2.0
+        assert a.control == 4.0
+
+
+class TestAreaModel:
+    def test_paper_breakdown_reproduced(self):
+        breakdown = AreaModel().breakdown(DBPIMConfig())
+        assert breakdown.total_mm2 == pytest.approx(1.15453, abs=1e-3)
+        fractions = breakdown.fractions()
+        assert fractions["PIM Baseline"] == pytest.approx(0.8732, abs=0.01)
+        assert fractions["Meta-RFs"] == pytest.approx(0.0678, abs=0.01)
+        assert fractions["Extra Post-processing Units"] == pytest.approx(0.0542, abs=0.01)
+        assert fractions["Input Sparsity Support"] < 0.001
+
+    def test_dense_baseline_has_no_sparsity_overhead(self):
+        breakdown = AreaModel().breakdown(DBPIMConfig().dense_baseline())
+        assert breakdown.meta_rfs == 0.0
+        assert breakdown.extra_post_processing == 0.0
+        assert breakdown.total_mm2 == pytest.approx(AreaLibrary().pim_baseline_mm2)
+
+    def test_area_scales_with_macros(self):
+        small = AreaModel().breakdown(DBPIMConfig(num_macros=4))
+        large = AreaModel().breakdown(DBPIMConfig(num_macros=8))
+        assert large.pim_baseline == pytest.approx(2 * small.pim_baseline)
+        assert large.extra_post_processing > small.extra_post_processing

@@ -1,0 +1,152 @@
+"""Tests for the ISA, the dataflow mapper and the code generator."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import DBPIMConfig
+from repro.compiler.codegen import generate_layer_program
+from repro.compiler.isa import Instruction, Opcode, Program
+from repro.compiler.mapping import map_layer
+from repro.workloads.layers import LayerKind, LayerShape
+
+
+@pytest.fixture()
+def conv_layer():
+    return LayerShape(
+        name="conv", kind=LayerKind.CONV, in_channels=64, out_channels=128,
+        kernel_size=3, stride=1, input_size=16, padding=1,
+    )
+
+
+@pytest.fixture()
+def fc_layer():
+    return LayerShape(
+        name="fc", kind=LayerKind.LINEAR, in_channels=512, out_channels=100
+    )
+
+
+class TestISA:
+    def test_program_append_and_count(self):
+        program = Program()
+        program.append(Opcode.LOAD_WEIGHTS, tile=0)
+        program.append(Opcode.BROADCAST, cycles=8)
+        program.append(Opcode.BROADCAST, cycles=8)
+        assert len(program) == 3
+        assert program.count(Opcode.BROADCAST) == 2
+        assert program.size_bytes() == 24
+
+    def test_instruction_operands(self):
+        instruction = Instruction(Opcode.MACRO_COMPUTE, {"filters": 16})
+        assert instruction.operand("filters") == 16
+        assert instruction.operand("missing", 0) == 0
+
+    def test_invalid_opcode_type(self):
+        with pytest.raises(TypeError):
+            Instruction("broadcast", {})
+
+    def test_invalid_instruction_size(self):
+        with pytest.raises(ValueError):
+            Program().size_bytes(bytes_per_instruction=0)
+
+
+class TestMapping:
+    def test_dense_mapping(self, conv_layer):
+        config = DBPIMConfig().dense_baseline()
+        mapping = map_layer(conv_layer, config)
+        assert mapping.filters_per_pass == 2 * config.num_macros
+        assert mapping.filter_iterations == 128 // (2 * config.num_macros)
+        assert mapping.input_tiles == -(-64 * 9 // 64)
+        assert mapping.output_positions == 16 * 16
+        assert mapping.cycles_per_pass == 8.0
+        assert mapping.total_cycles > 0
+
+    def test_weight_sparse_mapping_phi_one(self, conv_layer):
+        config = DBPIMConfig().weight_sparsity_only()
+        thresholds = np.ones(conv_layer.out_channels, dtype=np.int64)
+        mapping = map_layer(conv_layer, config, thresholds=thresholds)
+        assert mapping.filters_per_pass == 16 * config.num_macros
+        dense_cycles = map_layer(conv_layer, config.dense_baseline()).total_cycles
+        assert dense_cycles / mapping.total_cycles == pytest.approx(8.0)
+
+    def test_weight_sparse_mapping_phi_two(self, conv_layer):
+        config = DBPIMConfig().weight_sparsity_only()
+        thresholds = np.full(conv_layer.out_channels, 2, dtype=np.int64)
+        mapping = map_layer(conv_layer, config, thresholds=thresholds)
+        dense_cycles = map_layer(conv_layer, config.dense_baseline()).total_cycles
+        assert dense_cycles / mapping.total_cycles == pytest.approx(4.0)
+
+    def test_mixed_thresholds_grouped(self, conv_layer):
+        config = DBPIMConfig().weight_sparsity_only()
+        thresholds = np.array([1] * 64 + [2] * 64)
+        mapping = map_layer(conv_layer, config, thresholds=thresholds)
+        # 64 φ=1 filters fit in one pass of 64; 64 φ=2 filters need two.
+        assert mapping.filter_iterations == 1 + 2
+
+    def test_input_sparsity_requires_measurement(self, conv_layer):
+        config = DBPIMConfig()
+        thresholds = np.ones(conv_layer.out_channels, dtype=np.int64)
+        with pytest.raises(ValueError):
+            map_layer(conv_layer, config, thresholds=thresholds)
+        mapping = map_layer(
+            conv_layer, config, thresholds=thresholds, input_active_columns=5.5
+        )
+        assert mapping.cycles_per_pass == pytest.approx(5.5)
+
+    def test_weight_sparsity_requires_thresholds(self, conv_layer):
+        with pytest.raises(ValueError):
+            map_layer(conv_layer, DBPIMConfig().weight_sparsity_only())
+
+    def test_threshold_count_validated(self, conv_layer):
+        config = DBPIMConfig().weight_sparsity_only()
+        with pytest.raises(ValueError):
+            map_layer(conv_layer, config, thresholds=[1, 2, 1])
+
+    def test_invalid_threshold_values(self, conv_layer):
+        config = DBPIMConfig().weight_sparsity_only()
+        bad = np.full(conv_layer.out_channels, 5)
+        with pytest.raises(ValueError):
+            map_layer(conv_layer, config, thresholds=bad)
+
+    def test_fc_layer_mapping(self, fc_layer):
+        config = DBPIMConfig().dense_baseline()
+        mapping = map_layer(fc_layer, config)
+        assert mapping.output_positions == 1
+        assert mapping.input_tiles == 512 // 64
+
+    def test_depthwise_layer_mapping(self):
+        layer = LayerShape(
+            name="dw", kind=LayerKind.DEPTHWISE, in_channels=32, out_channels=32,
+            kernel_size=3, input_size=8, padding=1,
+        )
+        mapping = map_layer(layer, DBPIMConfig().dense_baseline())
+        assert mapping.input_tiles == 1
+        assert mapping.output_positions == 64
+
+
+class TestCodegen:
+    def test_program_structure(self, fc_layer):
+        config = DBPIMConfig().dense_baseline()
+        program = generate_layer_program(fc_layer, config)
+        mapping = map_layer(fc_layer, config)
+        assert program.count(Opcode.LOAD_WEIGHTS) == mapping.filter_iterations
+        assert program.count(Opcode.BROADCAST) == (
+            mapping.filter_iterations * mapping.input_tiles
+        )
+        assert program.count(Opcode.WRITE_BACK) == 1
+
+    def test_program_fits_instruction_buffer(self, fc_layer):
+        config = DBPIMConfig().dense_baseline()
+        program = generate_layer_program(fc_layer, config)
+        assert program.size_bytes() <= config.buffers.instruction_buffer
+
+    def test_sparse_program_generated(self, conv_layer):
+        config = DBPIMConfig()
+        thresholds = np.ones(conv_layer.out_channels, dtype=np.int64)
+        program = generate_layer_program(
+            conv_layer, config, thresholds=thresholds, input_active_columns=6.0
+        )
+        assert program.count(Opcode.LOAD_METADATA) >= 1
+        broadcast = next(
+            i for i in program if i.opcode is Opcode.BROADCAST
+        )
+        assert broadcast.operand("cycles") == 6

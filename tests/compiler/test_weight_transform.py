@@ -1,0 +1,85 @@
+"""Tests for the compile-time weight transformation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.weight_transform import compress_filter, compress_layer
+from repro.core.fta import approximate_layer
+
+
+class TestCompressFilter:
+    def test_round_trip_reconstruction(self):
+        weights = np.array([64, -96, 0, 3, 1, -2])
+        compressed = compress_filter(weights, threshold=2)
+        np.testing.assert_array_equal(compressed.reconstruct(), weights)
+
+    def test_padding_slots_marked_invalid(self):
+        weights = np.array([64, 0, 1])  # needs 1, 0 and 1 blocks
+        compressed = compress_filter(weights, threshold=2)
+        assert compressed.slots == 2
+        assert compressed.stored_blocks == 2
+        assert compressed.storage_utilization == pytest.approx(2 / 6)
+
+    def test_threshold_zero_uses_one_slot(self):
+        compressed = compress_filter(np.zeros(4, dtype=np.int64), threshold=0)
+        assert compressed.slots == 1
+        assert compressed.stored_blocks == 0
+        np.testing.assert_array_equal(compressed.reconstruct(), np.zeros(4))
+
+    def test_overflowing_weight_rejected(self):
+        with pytest.raises(ValueError):
+            compress_filter(np.array([85]), threshold=2)  # 85 needs 4 blocks
+
+    def test_byte_accounting(self):
+        weights = np.array([3] * 16)
+        compressed = compress_filter(weights, threshold=2)
+        # 16 weights x 2 slots x 2 bits of value = 8 bytes.
+        assert compressed.value_bytes() == 8
+        # 16 x 2 x 3 metadata bits = 96 bits = 12 bytes.
+        assert compressed.metadata_bytes() == 12
+
+
+class TestCompressLayer:
+    def test_layer_compression_round_trips(self):
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-128, 128, size=(8, 32))
+        approximated = approximate_layer(weights).approximated
+        layer = compress_layer(weights)
+        for index, compressed in enumerate(layer.filters):
+            np.testing.assert_array_equal(
+                compressed.reconstruct(), approximated[index]
+            )
+
+    def test_thresholds_match_fta(self):
+        rng = np.random.default_rng(1)
+        weights = rng.integers(-128, 128, size=(6, 16))
+        layer = compress_layer(weights)
+        expected = approximate_layer(weights).thresholds
+        np.testing.assert_array_equal(layer.thresholds, expected)
+
+    def test_compression_ratio_above_one_for_redundant_weights(self):
+        # Mostly tiny weights: dense storage is 8 bits each, compressed is
+        # ~2 bits of value + 3 bits of metadata per weight.
+        weights = np.tile(np.array([[0, 1, 2, -1, 0, 4, 0, -2]]), (4, 8))
+        layer = compress_layer(weights)
+        assert layer.compression_ratio > 1.0
+        assert layer.total_value_bytes < layer.dense_value_bytes()
+
+    def test_storage_utilization_bounds(self):
+        rng = np.random.default_rng(2)
+        weights = rng.integers(-128, 128, size=(4, 64))
+        layer = compress_layer(weights)
+        assert 0.0 < layer.storage_utilization <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-128, max_value=127), min_size=1, max_size=48)
+)
+def test_property_compress_reconstructs_fta_weights(values):
+    weights = np.asarray(values).reshape(1, -1)
+    approximated = approximate_layer(weights).approximated
+    layer = compress_layer(weights)
+    np.testing.assert_array_equal(layer.filters[0].reconstruct(), approximated[0])

@@ -1,0 +1,168 @@
+"""Unit and property tests for the CSD encoding module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import csd
+
+
+class TestScalarConversion:
+    def test_zero(self):
+        digits = csd.to_csd(0)
+        assert digits.tolist() == [0] * 8
+        assert csd.from_csd(digits) == 0
+
+    def test_paper_example_positive(self):
+        # 0111_1101 (125) encodes as 1000_0(-1)01 in CSD: 128 - 4 + 1 = 125.
+        digits = csd.to_csd(125)
+        assert csd.from_csd(digits) == 125
+        assert csd.csd_to_string(digits) == "10000-01"
+
+    def test_known_small_values(self):
+        assert csd.to_csd(3).tolist()[:3] == [-1, 0, 1]  # 3 = 4 - 1
+        assert csd.to_csd(7).tolist()[:4] == [-1, 0, 0, 1]  # 7 = 8 - 1
+        assert csd.to_csd(5).tolist()[:3] == [1, 0, 1]  # 5 = 4 + 1
+
+    def test_negative_values(self):
+        assert csd.from_csd(csd.to_csd(-1)) == -1
+        assert csd.from_csd(csd.to_csd(-128)) == -128
+        assert csd.from_csd(csd.to_csd(-37)) == -37
+
+    def test_range_limits(self):
+        assert csd.max_value(8) == 170
+        assert csd.min_value(8) == -170
+        csd.to_csd(170)
+        csd.to_csd(-170)
+        with pytest.raises(ValueError):
+            csd.to_csd(171)
+        with pytest.raises(ValueError):
+            csd.to_csd(-171)
+
+    def test_width_parameter(self):
+        digits = csd.to_csd(5, width=4)
+        assert digits.size == 4
+        assert csd.from_csd(digits) == 5
+        with pytest.raises(ValueError):
+            csd.to_csd(100, width=4)
+
+
+class TestArrayConversion:
+    def test_round_trip_full_int8_range(self):
+        values = np.arange(-128, 128)
+        digits = csd.to_csd_array(values)
+        assert digits.shape == (256, 8)
+        recovered = csd.from_csd_array(digits)
+        np.testing.assert_array_equal(recovered, values)
+
+    def test_matches_scalar_conversion(self):
+        values = np.array([-128, -37, -1, 0, 1, 42, 66, 127])
+        digits = csd.to_csd_array(values)
+        for value, row in zip(values, digits):
+            np.testing.assert_array_equal(row, csd.to_csd(int(value)))
+
+    def test_multidimensional_shape_preserved(self):
+        values = np.arange(-12, 12).reshape(2, 3, 4)
+        digits = csd.to_csd_array(values)
+        assert digits.shape == (2, 3, 4, 8)
+        np.testing.assert_array_equal(csd.from_csd_array(digits), values)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            csd.to_csd_array(np.array([0, 500]))
+
+    def test_empty_array(self):
+        digits = csd.to_csd_array(np.array([], dtype=np.int64))
+        assert digits.shape == (0, 8)
+
+
+class TestInvariants:
+    def test_every_int8_value_is_valid_csd(self):
+        for value in range(-128, 128):
+            assert csd.is_valid_csd(csd.to_csd(value))
+
+    def test_is_valid_csd_rejects_adjacent_nonzeros(self):
+        assert not csd.is_valid_csd([1, 1, 0, 0])
+        assert not csd.is_valid_csd([0, -1, 1, 0])
+
+    def test_is_valid_csd_rejects_bad_digits(self):
+        assert not csd.is_valid_csd([2, 0, 0, 0])
+
+    def test_csd_has_no_more_nonzeros_than_binary(self):
+        values = np.arange(-128, 128)
+        csd_counts = csd.count_nonzero_digits_array(values)
+        binary_counts = csd.count_nonzero_bits_binary(np.abs(values))
+        # CSD is minimal-weight: for non-negative magnitudes it never uses
+        # more non-zero digits than the plain binary representation.
+        assert np.all(csd_counts <= binary_counts + 0)
+
+    def test_count_nonzero_digits_scalar(self):
+        assert csd.count_nonzero_digits(0) == 0
+        assert csd.count_nonzero_digits(64) == 1
+        assert csd.count_nonzero_digits(66) == 2
+        assert csd.count_nonzero_digits(127) == 2  # 128 - 1
+
+
+class TestStringRendering:
+    def test_round_trip(self):
+        for value in (-128, -3, 0, 5, 66, 127):
+            digits = csd.to_csd(value)
+            text = csd.csd_to_string(digits)
+            assert len(text) == 8
+            recovered = csd.csd_from_string(text)
+            np.testing.assert_array_equal(recovered, digits)
+
+    def test_invalid_character(self):
+        with pytest.raises(ValueError):
+            csd.csd_from_string("10x0")
+
+
+class TestBinaryDigits:
+    def test_unsigned_bits(self):
+        bits = csd.binary_digits(np.array([5]))
+        assert bits[0].tolist() == [1, 0, 1, 0, 0, 0, 0, 0]
+
+    def test_twos_complement_negative(self):
+        bits = csd.binary_digits(np.array([-1]))
+        assert bits[0].tolist() == [1] * 8
+
+    def test_count_nonzero_bits(self):
+        counts = csd.count_nonzero_bits_binary(np.array([0, 1, 255, -1]))
+        assert counts.tolist() == [0, 1, 8, 8]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=-170, max_value=170))
+def test_property_round_trip(value):
+    digits = csd.to_csd(value)
+    assert csd.from_csd(digits) == value
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=-170, max_value=170))
+def test_property_no_adjacent_nonzeros(value):
+    assert csd.is_valid_csd(csd.to_csd(value))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-128, max_value=127), min_size=1, max_size=64)
+)
+def test_property_array_matches_scalar(values):
+    arr = np.asarray(values)
+    digits = csd.to_csd_array(arr)
+    for value, row in zip(values, digits):
+        np.testing.assert_array_equal(row, csd.to_csd(value))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=-170, max_value=170), st.integers(min_value=-170, max_value=170))
+def test_property_csd_is_minimal_weight_vs_shifted(a, b):
+    # The CSD non-zero count of a value never exceeds the count of any other
+    # signed-digit representation; in particular the sum of counts of two
+    # values is an upper bound on the count of their sum when representable.
+    total = a + b
+    if -170 <= total <= 170:
+        count_sum = csd.count_nonzero_digits(total)
+        assert count_sum <= csd.count_nonzero_digits(a) + csd.count_nonzero_digits(b)

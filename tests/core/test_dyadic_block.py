@@ -1,0 +1,145 @@
+"""Tests for the dyadic block decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import csd
+from repro.core.dyadic_block import (
+    BlockedWeight,
+    DyadicBlock,
+    block_count,
+    blocks_of_value,
+    nonzero_blocks_of_value,
+    reconstruct_value,
+    split_blocks,
+)
+
+
+class TestDyadicBlock:
+    def test_zero_pattern(self):
+        block = DyadicBlock(index=0, low=0, high=0)
+        assert block.is_zero
+        assert not block.is_comp
+        assert block.value == 0
+        assert block.sign == 0
+
+    def test_comp_patterns(self):
+        assert DyadicBlock(0, 1, 0).value == 1
+        assert DyadicBlock(0, 0, 1).value == 2
+        assert DyadicBlock(0, -1, 0).value == -1
+        assert DyadicBlock(0, 0, -1).value == -2
+        assert DyadicBlock(3, 0, 1).value == 128
+        assert DyadicBlock(3, 0, -1).value == -128
+
+    def test_bit_position(self):
+        assert DyadicBlock(2, 1, 0).bit_position == 4
+        assert DyadicBlock(2, 0, 1).bit_position == 5
+        with pytest.raises(ValueError):
+            DyadicBlock(1, 0, 0).bit_position
+
+    def test_cell_bits(self):
+        assert DyadicBlock(0, 1, 0).cell_bits() == (1, 0)
+        assert DyadicBlock(0, 0, -1).cell_bits() == (0, 1)
+        with pytest.raises(ValueError):
+            DyadicBlock(0, 0, 0).cell_bits()
+
+    def test_invalid_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            DyadicBlock(0, 1, 1)
+        with pytest.raises(ValueError):
+            DyadicBlock(0, 2, 0)
+        with pytest.raises(ValueError):
+            DyadicBlock(-1, 1, 0)
+
+
+class TestSplitBlocks:
+    def test_paper_example(self):
+        # f1_th(0) = 0100_0010 CSD = 66 decomposes into 01|00|00|10.
+        blocks = blocks_of_value(66)
+        assert len(blocks) == 4
+        assert blocks[0].is_comp and blocks[0].value == 2
+        assert blocks[1].is_zero
+        assert blocks[2].is_zero
+        assert blocks[3].is_comp and blocks[3].value == 64
+
+    def test_block_count(self):
+        assert block_count(8) == 4
+        assert block_count(16) == 8
+        with pytest.raises(ValueError):
+            block_count(7)
+
+    def test_rejects_invalid_csd(self):
+        with pytest.raises(ValueError):
+            split_blocks([1, 1, 0, 0, 0, 0, 0, 0])
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            split_blocks([1, 0, 0])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            split_blocks(np.zeros((2, 8), dtype=np.int8))
+
+
+class TestNonzeroBlocks:
+    def test_metadata_of_paper_example(self):
+        blocked = nonzero_blocks_of_value(66)
+        assert blocked.phi == 2
+        assert blocked.indices == [0, 3]
+        assert blocked.signs == [1, 1]
+        assert blocked.reconstruct() == 66
+
+    def test_negative_value(self):
+        blocked = nonzero_blocks_of_value(-96)  # -128 + 32
+        assert blocked.reconstruct() == -96
+        assert all(block.is_comp for block in blocked.blocks)
+
+    def test_zero_value_has_no_blocks(self):
+        blocked = nonzero_blocks_of_value(0)
+        assert blocked.phi == 0
+        assert blocked.reconstruct() == 0
+
+    def test_phi_matches_csd_count(self):
+        for value in range(-128, 128):
+            blocked = nonzero_blocks_of_value(value)
+            assert blocked.phi == csd.count_nonzero_digits(value)
+
+    def test_blocked_weight_is_immutable_record(self):
+        blocked = nonzero_blocks_of_value(5)
+        assert isinstance(blocked, BlockedWeight)
+        with pytest.raises(AttributeError):
+            blocked.value = 7
+
+
+class TestReconstruction:
+    def test_reconstruct_value(self):
+        blocks = blocks_of_value(-77)
+        assert reconstruct_value(blocks) == -77
+
+    def test_every_int8_round_trips(self):
+        for value in range(-128, 128):
+            assert nonzero_blocks_of_value(value).reconstruct() == value
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=-170, max_value=170))
+def test_property_block_reconstruction(value):
+    assert nonzero_blocks_of_value(value).reconstruct() == value
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=-170, max_value=170))
+def test_property_each_block_has_at_most_one_nonzero(value):
+    for block in blocks_of_value(value):
+        assert (block.low == 0) or (block.high == 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=-170, max_value=170))
+def test_property_indices_are_unique_and_sorted(value):
+    blocked = nonzero_blocks_of_value(value)
+    indices = blocked.indices
+    assert indices == sorted(indices)
+    assert len(indices) == len(set(indices))

@@ -1,0 +1,190 @@
+"""Tests for the Fixed Threshold Approximation algorithm (Alg. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import csd
+from repro.core.fta import (
+    FTAConfig,
+    approximate_filter,
+    approximate_layer,
+    approximate_model,
+    filter_threshold,
+)
+from repro.core.query_table import QueryTableMode, build_table
+
+
+class TestFilterThreshold:
+    def test_all_zero_filter(self):
+        assert filter_threshold(np.zeros(16, dtype=np.int64)) == 0
+
+    def test_mode_zero_maps_to_one(self):
+        # Majority of weights are zero but a few are not: mode is 0 -> φ_th=1.
+        weights = np.array([0] * 10 + [1, 2, 64])
+        assert filter_threshold(weights) == 1
+
+    def test_mode_one(self):
+        weights = np.array([1, 2, 4, 8, 16, 3])  # five φ=1 weights, one φ=2
+        assert filter_threshold(weights) == 1
+
+    def test_mode_two(self):
+        weights = np.array([3, 5, 6, 9, 10, 1])  # mostly φ=2
+        assert filter_threshold(weights) == 2
+
+    def test_mode_above_two_is_clipped(self):
+        # 85 = 64+16+4+1 has φ=4; a filter full of such values clips to 2.
+        weights = np.array([85, 85, 85, 85, -85])
+        assert filter_threshold(weights) == 2
+
+    def test_custom_max_threshold(self):
+        config = FTAConfig(max_threshold=3)
+        weights = np.array([85, 85, 85, 85])
+        assert filter_threshold(weights, config) == 3
+
+    def test_empty_filter_rejected(self):
+        with pytest.raises(ValueError):
+            filter_threshold(np.array([], dtype=np.int64))
+
+
+class TestApproximateFilter:
+    def test_all_zero_filter_stays_zero(self):
+        result = approximate_filter(np.zeros(8, dtype=np.int64))
+        assert result.threshold == 0
+        assert np.all(result.approximated == 0)
+
+    def test_weights_already_conforming_are_unchanged(self):
+        weights = np.array([1, 2, 4, -8, 16, 64, 0, 0])
+        result = approximate_filter(weights)
+        assert result.threshold == 1
+        np.testing.assert_array_equal(result.approximated, weights)
+
+    def test_output_within_query_table(self):
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-128, 128, size=64)
+        config = FTAConfig()
+        result = approximate_filter(weights, config)
+        table = set(
+            build_table(result.threshold, mode=config.table_mode)
+        ) if result.threshold > 0 else {0}
+        assert set(result.approximated.tolist()) <= table
+
+    def test_exact_mode_forces_exact_counts(self):
+        rng = np.random.default_rng(1)
+        weights = rng.integers(-128, 128, size=64)
+        config = FTAConfig(table_mode=QueryTableMode.EXACT)
+        result = approximate_filter(weights, config)
+        if result.threshold > 0:
+            counts = csd.count_nonzero_digits_array(result.approximated)
+            assert np.all(counts == result.threshold)
+
+    def test_at_most_mode_bounds_counts(self):
+        rng = np.random.default_rng(2)
+        weights = rng.integers(-128, 128, size=64)
+        result = approximate_filter(weights)
+        counts = csd.count_nonzero_digits_array(result.approximated)
+        assert np.all(counts <= result.threshold)
+
+    def test_shape_preserved(self):
+        weights = np.arange(-32, 32).reshape(4, 4, 4)
+        result = approximate_filter(weights)
+        assert result.approximated.shape == (4, 4, 4)
+        assert result.phi_counts.shape == (4, 4, 4)
+
+    def test_mean_absolute_error_reported(self):
+        weights = np.array([7, 7, 7, 7])
+        result = approximate_filter(weights)
+        assert result.mean_absolute_error >= 0.0
+        assert result.num_weights == 4
+
+
+class TestApproximateLayer:
+    def test_per_filter_thresholds(self):
+        layer = np.stack(
+            [
+                np.array([1, 2, 4, 8]),  # φ_th = 1
+                np.array([3, 5, 6, 9]),  # φ_th = 2
+                np.zeros(4, dtype=np.int64),  # φ_th = 0
+            ]
+        )
+        result = approximate_layer(layer)
+        assert result.thresholds.tolist() == [1, 2, 0]
+
+    def test_threshold_histogram(self):
+        layer = np.stack([np.array([1, 2]), np.array([3, 5]), np.array([1, 4])])
+        histogram = approximate_layer(layer).threshold_histogram()
+        assert histogram == {1: 2, 2: 1}
+
+    def test_stacked_outputs(self):
+        rng = np.random.default_rng(3)
+        layer = rng.integers(-128, 128, size=(8, 32))
+        result = approximate_layer(layer)
+        assert result.approximated.shape == (8, 32)
+        assert result.original.shape == (8, 32)
+        np.testing.assert_array_equal(result.original, layer)
+
+    def test_one_dimensional_layer_treated_as_filters(self):
+        result = approximate_layer(np.array([1, 3, 5]))
+        assert len(result.filters) == 3
+
+    def test_empty_layer_rejected(self):
+        with pytest.raises(ValueError):
+            approximate_layer(np.zeros((0, 4), dtype=np.int64))
+
+
+class TestApproximateModel:
+    def test_multiple_layers(self):
+        rng = np.random.default_rng(4)
+        layers = [rng.integers(-128, 128, size=(4, 16)) for _ in range(3)]
+        results = approximate_model(layers)
+        assert len(results) == 3
+        for layer, result in zip(layers, results):
+            assert result.approximated.shape == layer.shape
+
+
+class TestConfigValidation:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            FTAConfig(table_mode="nope")
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            FTAConfig(max_threshold=-1)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            FTAConfig(value_low=5, value_high=1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-128, max_value=127), min_size=1, max_size=64)
+)
+def test_property_threshold_in_valid_range(weights):
+    threshold = filter_threshold(np.asarray(weights))
+    assert 0 <= threshold <= 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-128, max_value=127), min_size=1, max_size=64)
+)
+def test_property_approximation_bounded_counts(weights):
+    result = approximate_filter(np.asarray(weights))
+    counts = csd.count_nonzero_digits_array(result.approximated)
+    assert np.all(counts <= max(result.threshold, 0))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-128, max_value=127), min_size=1, max_size=64)
+)
+def test_property_approximation_error_is_bounded(weights):
+    # Snapping to the at-most table can never move a weight further than the
+    # spacing of the φ=1 table (the coarsest non-trivial grid).  Over the
+    # INT8 domain the largest gap is between 64 and 127 (128 is outside the
+    # domain), so the worst-case perturbation is 63.
+    result = approximate_filter(np.asarray(weights))
+    if result.threshold >= 1:
+        assert np.abs(result.approximated - result.original).max() <= 63

@@ -1,0 +1,158 @@
+"""Tests for the quantization toolbox."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import csd
+from repro.core.quantization import (
+    dequantize,
+    fake_quantize_activations,
+    fake_quantize_weights,
+    fta_quantize_weights,
+    quantize_activations,
+    quantize_weights,
+)
+
+
+class TestWeightQuantization:
+    def test_int8_range(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(8, 16))
+        quantized, params = quantize_weights(weights)
+        assert quantized.min() >= -127 and quantized.max() <= 127
+        assert params.low == -127 and params.high == 127
+        assert params.num_bits == 8
+
+    def test_per_channel_scales(self):
+        weights = np.stack([np.full(4, 1.0), np.full(4, 0.01)])
+        quantized, params = quantize_weights(weights, per_channel=True)
+        assert params.scale.shape == (2,)
+        # Both channels should saturate their own grid despite the magnitude
+        # difference.
+        assert np.abs(quantized[0]).max() == 127
+        assert np.abs(quantized[1]).max() == 127
+
+    def test_per_tensor_scale(self):
+        weights = np.stack([np.full(4, 1.0), np.full(4, 0.01)])
+        quantized, params = quantize_weights(weights, per_channel=False)
+        assert params.scale.ndim == 0 or params.scale.size == 1
+        assert np.abs(quantized[1]).max() <= 2
+
+    def test_round_trip_error_bounded(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(size=(4, 32))
+        quantized, params = quantize_weights(weights)
+        recovered = dequantize(quantized, params)
+        scale = params.scale.reshape(-1, 1)
+        assert np.all(np.abs(recovered - weights) <= scale / 2 + 1e-12)
+
+    def test_lower_bit_width(self):
+        rng = np.random.default_rng(2)
+        weights = rng.normal(size=(4, 8))
+        quantized, params = quantize_weights(weights, num_bits=4)
+        assert quantized.min() >= -7 and quantized.max() <= 7
+        assert params.num_bits == 4
+
+    def test_zero_weights(self):
+        quantized, params = quantize_weights(np.zeros((2, 4)))
+        assert np.all(quantized == 0)
+        recovered = dequantize(quantized, params)
+        assert np.all(recovered == 0)
+
+
+class TestActivationQuantization:
+    def test_unsigned_range(self):
+        rng = np.random.default_rng(3)
+        activations = np.abs(rng.normal(size=(4, 8)))
+        quantized, params = quantize_activations(activations)
+        assert quantized.min() >= 0 and quantized.max() <= 255
+        assert params.low == 0 and params.high == 255
+
+    def test_signed_range(self):
+        rng = np.random.default_rng(4)
+        activations = rng.normal(size=(4, 8))
+        quantized, params = quantize_activations(activations, signed=True)
+        assert quantized.min() >= -127 and quantized.max() <= 127
+
+    def test_round_trip_error(self):
+        rng = np.random.default_rng(5)
+        activations = np.abs(rng.normal(size=64))
+        quantized, params = quantize_activations(activations)
+        recovered = dequantize(quantized, params)
+        assert np.all(np.abs(recovered - activations) <= float(params.scale) / 2 + 1e-12)
+
+
+class TestFakeQuantization:
+    def test_fake_weight_quantization_close_to_original(self):
+        rng = np.random.default_rng(6)
+        weights = rng.normal(size=(8, 8))
+        fake = fake_quantize_weights(weights)
+        assert fake.shape == weights.shape
+        assert np.abs(fake - weights).max() < np.abs(weights).max() / 64
+
+    def test_fake_activation_quantization(self):
+        rng = np.random.default_rng(7)
+        activations = np.abs(rng.normal(size=(8, 8)))
+        fake = fake_quantize_activations(activations)
+        assert fake.shape == activations.shape
+        assert np.all(fake >= 0)
+
+
+class TestFTAQuantization:
+    def test_shapes_and_thresholds(self):
+        rng = np.random.default_rng(8)
+        weights = rng.normal(size=(6, 3, 3, 3))
+        quantized, approximated, params, thresholds = fta_quantize_weights(weights)
+        assert quantized.shape == weights.shape
+        assert approximated.shape == weights.shape
+        assert thresholds.shape == (6,)
+        assert np.all((thresholds >= 0) & (thresholds <= 2))
+
+    def test_approximated_respects_thresholds(self):
+        rng = np.random.default_rng(9)
+        weights = rng.normal(size=(4, 16))
+        _, approximated, _, thresholds = fta_quantize_weights(weights)
+        for filter_index in range(4):
+            counts = csd.count_nonzero_digits_array(approximated[filter_index])
+            assert np.all(counts <= thresholds[filter_index])
+
+    def test_channel_axis_moved(self):
+        rng = np.random.default_rng(10)
+        weights = rng.normal(size=(3, 3, 5))  # channels last
+        quantized, approximated, params, thresholds = fta_quantize_weights(
+            weights, channel_axis=2
+        )
+        assert thresholds.shape == (5,)
+        assert quantized.shape == (5, 3, 3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=16),
+        elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+    )
+)
+def test_property_quantization_round_trip_error(weights):
+    quantized, params = quantize_weights(weights, per_channel=False)
+    recovered = dequantize(quantized, params)
+    scale = float(np.asarray(params.scale).reshape(-1)[0])
+    assert np.all(np.abs(recovered - weights) <= scale / 2 + 1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=(4, 8),
+        elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+    )
+)
+def test_property_fta_quantization_stays_in_int8(weights):
+    quantized, approximated, _, _ = fta_quantize_weights(weights)
+    assert quantized.min() >= -127 and quantized.max() <= 127
+    assert approximated.min() >= -128 and approximated.max() <= 127

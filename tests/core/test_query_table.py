@@ -1,0 +1,143 @@
+"""Tests for the FTA query tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import csd
+from repro.core.query_table import (
+    QueryTableMode,
+    build_table,
+    max_phi,
+    nearest_in_table,
+    nearest_in_table_array,
+)
+
+
+class TestBuildTable:
+    def test_phi_zero_is_only_zero(self):
+        assert build_table(0, mode=QueryTableMode.EXACT) == (0,)
+        assert build_table(0, mode=QueryTableMode.AT_MOST) == (0,)
+
+    def test_phi_one_exact_is_signed_powers_of_two(self):
+        table = build_table(1, mode=QueryTableMode.EXACT)
+        expected = sorted(
+            [-128, -64, -32, -16, -8, -4, -2, -1, 1, 2, 4, 8, 16, 32, 64]
+        )
+        assert list(table) == expected
+
+    def test_phi_one_at_most_includes_zero(self):
+        table = build_table(1, mode=QueryTableMode.AT_MOST)
+        assert 0 in table
+        assert 1 in table and -128 in table
+
+    def test_at_most_is_superset_of_exact(self):
+        for phi in range(0, 5):
+            exact = set(build_table(phi, mode=QueryTableMode.EXACT))
+            at_most = set(build_table(phi, mode=QueryTableMode.AT_MOST))
+            assert exact <= at_most
+
+    def test_exact_entries_have_exact_counts(self):
+        for phi in range(0, 5):
+            for value in build_table(phi, mode=QueryTableMode.EXACT):
+                assert csd.count_nonzero_digits(value) == phi
+
+    def test_at_most_entries_have_bounded_counts(self):
+        for phi in range(0, 5):
+            for value in build_table(phi, mode=QueryTableMode.AT_MOST):
+                assert csd.count_nonzero_digits(value) <= phi
+
+    def test_at_most_phi4_covers_full_int8_range(self):
+        table = build_table(4, mode=QueryTableMode.AT_MOST)
+        assert list(table) == list(range(-128, 128))
+
+    def test_max_phi(self):
+        assert max_phi(8) == 4
+        assert max_phi(7) == 4
+        assert max_phi(4) == 2
+
+    def test_invalid_phi_rejected(self):
+        with pytest.raises(ValueError):
+            build_table(-1)
+        with pytest.raises(ValueError):
+            build_table(5, width=8)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build_table(1, mode="bogus")
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            build_table(1, low=10, high=5)
+
+    def test_custom_range(self):
+        table = build_table(1, low=0, high=15, mode=QueryTableMode.EXACT)
+        assert list(table) == [1, 2, 4, 8]
+
+
+class TestNearest:
+    def test_exact_member_is_returned(self):
+        assert nearest_in_table(64, 1) == 64
+        assert nearest_in_table(0, 2) == 0
+
+    def test_snapping_small_values_phi_one_exact(self):
+        # With the exact table the nearest power of two is chosen.
+        assert nearest_in_table(3, 1, mode=QueryTableMode.EXACT) in (2, 4)
+        assert nearest_in_table(0, 1, mode=QueryTableMode.EXACT) in (-1, 1)
+
+    def test_at_most_keeps_zero(self):
+        assert nearest_in_table(0, 1, mode=QueryTableMode.AT_MOST) == 0
+
+    def test_tie_breaks_toward_smaller_magnitude(self):
+        # 3 is equidistant from 2 and 4 in the exact φ=1 table.
+        assert nearest_in_table(3, 1, mode=QueryTableMode.EXACT) == 2
+        assert nearest_in_table(-3, 1, mode=QueryTableMode.EXACT) == -2
+
+    def test_array_matches_scalar(self):
+        values = np.arange(-128, 128)
+        for mode in (QueryTableMode.EXACT, QueryTableMode.AT_MOST):
+            for phi in (1, 2):
+                array_result = nearest_in_table_array(values, phi, mode=mode)
+                scalar_result = np.array(
+                    [nearest_in_table(int(v), phi, mode=mode) for v in values]
+                )
+                distance_array = np.abs(array_result - values)
+                distance_scalar = np.abs(scalar_result - values)
+                # Both must achieve the optimal distance (tie-break may differ
+                # only between equally distant candidates).
+                np.testing.assert_array_equal(distance_array, distance_scalar)
+
+    def test_array_preserves_shape(self):
+        values = np.arange(-8, 8).reshape(4, 4)
+        result = nearest_in_table_array(values, 2)
+        assert result.shape == (4, 4)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=-128, max_value=127),
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from([QueryTableMode.EXACT, QueryTableMode.AT_MOST]),
+)
+def test_property_nearest_is_member_and_optimal(value, phi, mode):
+    table = build_table(phi, mode=mode)
+    nearest = nearest_in_table(value, phi, mode=mode)
+    assert nearest in table
+    best = min(abs(t - value) for t in table)
+    assert abs(nearest - value) == best
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-128, max_value=127), min_size=1, max_size=32),
+    st.integers(min_value=1, max_value=4),
+)
+def test_property_array_nearest_is_optimal(values, phi):
+    arr = np.asarray(values)
+    table = build_table(phi, mode=QueryTableMode.AT_MOST)
+    result = nearest_in_table_array(arr, phi, mode=QueryTableMode.AT_MOST)
+    for value, snapped in zip(values, result):
+        assert int(snapped) in table
+        best = min(abs(t - value) for t in table)
+        assert abs(int(snapped) - value) == best

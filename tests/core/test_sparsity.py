@@ -1,0 +1,129 @@
+"""Tests for the bit-level sparsity analytics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sparsity import (
+    analyze_input_sparsity,
+    analyze_weight_sparsity,
+    input_block_zero_column_ratio,
+    input_zero_bit_ratio,
+    weight_zero_bit_ratio_binary,
+    weight_zero_bit_ratio_csd,
+    weight_zero_bit_ratio_fta,
+)
+
+
+class TestWeightSparsity:
+    def test_all_zero_weights(self):
+        weights = np.zeros((4, 8), dtype=np.int64)
+        assert weight_zero_bit_ratio_binary(weights) == 1.0
+        assert weight_zero_bit_ratio_csd(weights) == 1.0
+        assert weight_zero_bit_ratio_fta(weights) == 1.0
+
+    def test_known_binary_ratio(self):
+        weights = np.array([[255 - 256, 0]])  # -1 has eight set bits
+        assert weight_zero_bit_ratio_binary(weights) == 0.5
+
+    def test_csd_at_least_as_sparse_as_binary_for_positive(self):
+        rng = np.random.default_rng(0)
+        weights = rng.integers(0, 128, size=(16, 64))
+        assert weight_zero_bit_ratio_csd(weights) >= weight_zero_bit_ratio_binary(
+            weights
+        )
+
+    def test_fta_at_least_as_sparse_as_csd(self):
+        rng = np.random.default_rng(1)
+        weights = rng.integers(-128, 128, size=(16, 64))
+        assert weight_zero_bit_ratio_fta(weights) >= weight_zero_bit_ratio_csd(
+            weights
+        ) - 1e-12
+
+    def test_report_aggregation(self):
+        rng = np.random.default_rng(2)
+        layers = [rng.integers(-128, 128, size=(8, 32)) for _ in range(3)]
+        report = analyze_weight_sparsity(layers)
+        assert 0.0 <= report.binary <= 1.0
+        assert 0.0 <= report.csd <= 1.0
+        assert 0.0 <= report.fta <= 1.0
+        assert report.fta >= report.csd - 1e-12
+        assert report.num_weights == sum(layer.size for layer in layers)
+        assert set(report.as_dict()) == {"binary", "csd", "fta"}
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            weight_zero_bit_ratio_binary(np.zeros((0,), dtype=np.int64))
+        with pytest.raises(ValueError):
+            analyze_weight_sparsity([])
+
+
+class TestInputSparsity:
+    def test_zero_activations(self):
+        activations = np.zeros(64, dtype=np.int64)
+        assert input_zero_bit_ratio(activations) == 1.0
+        assert input_block_zero_column_ratio(activations, 8) == 1.0
+
+    def test_dense_activations(self):
+        activations = np.full(64, 255, dtype=np.int64)
+        assert input_zero_bit_ratio(activations) == 0.0
+        assert input_block_zero_column_ratio(activations, 8) == 0.0
+
+    def test_group_size_one_equals_bit_ratio(self):
+        rng = np.random.default_rng(3)
+        activations = rng.integers(0, 256, size=256)
+        assert input_block_zero_column_ratio(activations, 1) == pytest.approx(
+            input_zero_bit_ratio(activations)
+        )
+
+    def test_larger_groups_have_lower_ratio(self):
+        rng = np.random.default_rng(4)
+        activations = rng.integers(0, 64, size=1024)
+        ratios = analyze_input_sparsity(activations, group_sizes=(1, 8, 16))
+        assert ratios[1] >= ratios[8] >= ratios[16]
+
+    def test_negative_activations_rejected(self):
+        with pytest.raises(ValueError):
+            input_zero_bit_ratio(np.array([-1, 2]))
+        with pytest.raises(ValueError):
+            input_block_zero_column_ratio(np.array([-1, 2]), 2)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            input_block_zero_column_ratio(np.array([1, 2]), 0)
+        with pytest.raises(ValueError):
+            input_block_zero_column_ratio(np.array([1, 2]), 4)
+
+    def test_column_skipping_known_pattern(self):
+        # Eight activations whose bit 7 is always zero and bit 0 always one:
+        # exactly bits 1..7 columns are zero except bit 0.
+        activations = np.full(8, 1, dtype=np.int64)
+        ratio = input_block_zero_column_ratio(activations, 8)
+        assert ratio == pytest.approx(7 / 8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=255), min_size=16, max_size=128)
+)
+def test_property_group_monotonicity(values):
+    activations = np.asarray(values)
+    ratio_small = input_block_zero_column_ratio(activations, 1)
+    ratio_large = input_block_zero_column_ratio(activations, 8)
+    # A column of a larger group is zero only if every sub-column is zero.
+    assert ratio_large <= ratio_small + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-128, max_value=127), min_size=8, max_size=64)
+)
+def test_property_ratios_are_probabilities(values):
+    weights = np.asarray(values).reshape(1, -1)
+    for ratio in (
+        weight_zero_bit_ratio_binary(weights),
+        weight_zero_bit_ratio_csd(weights),
+        weight_zero_bit_ratio_fta(weights),
+    ):
+        assert 0.0 <= ratio <= 1.0

@@ -1,0 +1,243 @@
+"""Tests for the functional building blocks (conv, pool, BN, softmax)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def reference_conv2d(inputs, weights, bias, stride, padding, groups=1):
+    """Naive direct convolution used as the ground truth."""
+    batch, in_channels, height, width = inputs.shape
+    out_channels, group_in, kernel, _ = weights.shape
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    padded = np.pad(inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    output = np.zeros((batch, out_channels, out_h, out_w))
+    group_out = out_channels // groups
+    for n in range(batch):
+        for oc in range(out_channels):
+            g = oc // group_out
+            for oy in range(out_h):
+                for ox in range(out_w):
+                    patch = padded[
+                        n,
+                        g * group_in : (g + 1) * group_in,
+                        oy * stride : oy * stride + kernel,
+                        ox * stride : ox * stride + kernel,
+                    ]
+                    output[n, oc, oy, ox] = np.sum(patch * weights[oc])
+    if bias is not None:
+        output += bias.reshape(1, -1, 1, 1)
+    return output
+
+
+class TestConv2D:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_matches_reference(self, stride, padding):
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(size=(2, 3, 8, 8))
+        weights = rng.normal(size=(4, 3, 3, 3))
+        bias = rng.normal(size=4)
+        output, _ = F.conv2d_forward(inputs, weights, bias, stride, padding)
+        expected = reference_conv2d(inputs, weights, bias, stride, padding)
+        np.testing.assert_allclose(output, expected, rtol=1e-10, atol=1e-10)
+
+    def test_grouped_convolution(self):
+        rng = np.random.default_rng(1)
+        inputs = rng.normal(size=(2, 4, 6, 6))
+        weights = rng.normal(size=(8, 2, 3, 3))
+        output, _ = F.conv2d_forward(inputs, weights, None, 1, 1, groups=2)
+        expected = reference_conv2d(inputs, weights, None, 1, 1, groups=2)
+        np.testing.assert_allclose(output, expected, rtol=1e-10, atol=1e-10)
+
+    def test_depthwise_convolution(self):
+        rng = np.random.default_rng(2)
+        inputs = rng.normal(size=(1, 6, 5, 5))
+        weights = rng.normal(size=(6, 1, 3, 3))
+        output, _ = F.conv2d_forward(inputs, weights, None, 1, 1, groups=6)
+        expected = reference_conv2d(inputs, weights, None, 1, 1, groups=6)
+        np.testing.assert_allclose(output, expected, rtol=1e-10, atol=1e-10)
+
+    def test_gradients_numerically(self):
+        rng = np.random.default_rng(3)
+        inputs = rng.normal(size=(1, 2, 5, 5))
+        weights = rng.normal(size=(3, 2, 3, 3))
+        bias = rng.normal(size=3)
+        output, cache = F.conv2d_forward(inputs, weights, bias, 1, 1)
+        grad_output = rng.normal(size=output.shape)
+        grad_input, grad_weight, grad_bias = F.conv2d_backward(grad_output, cache)
+
+        def loss_for_inputs(x):
+            out, _ = F.conv2d_forward(x, weights, bias, 1, 1)
+            return np.sum(out * grad_output)
+
+        def loss_for_weights(w):
+            out, _ = F.conv2d_forward(inputs, w, bias, 1, 1)
+            return np.sum(out * grad_output)
+
+        numeric_input = _numeric_gradient(loss_for_inputs, inputs)
+        numeric_weight = _numeric_gradient(loss_for_weights, weights)
+        np.testing.assert_allclose(grad_input, numeric_input, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(grad_weight, numeric_weight, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(grad_bias, grad_output.sum(axis=(0, 2, 3)))
+
+    def test_invalid_groups_rejected(self):
+        inputs = np.zeros((1, 3, 4, 4))
+        weights = np.zeros((4, 3, 3, 3))
+        with pytest.raises(ValueError):
+            F.conv2d_forward(inputs, weights, None, 1, 1, groups=2)
+
+    def test_inconsistent_weight_shape_rejected(self):
+        inputs = np.zeros((1, 4, 4, 4))
+        weights = np.zeros((4, 3, 3, 3))
+        with pytest.raises(ValueError):
+            F.conv2d_forward(inputs, weights, None, 1, 1, groups=1)
+
+
+class TestIm2Col:
+    def test_round_trip_shapes(self):
+        rng = np.random.default_rng(4)
+        inputs = rng.normal(size=(2, 3, 6, 6))
+        columns, (out_h, out_w) = F.im2col(inputs, 3, 1, 1)
+        assert columns.shape == (2 * 6 * 6, 3 * 9)
+        assert (out_h, out_w) == (6, 6)
+
+    def test_col2im_is_adjoint(self):
+        # <im2col(x), y> == <x, col2im(y)> for random x, y.
+        rng = np.random.default_rng(5)
+        inputs = rng.normal(size=(1, 2, 5, 5))
+        columns, _ = F.im2col(inputs, 3, 2, 1)
+        other = rng.normal(size=columns.shape)
+        lhs = np.sum(columns * other)
+        rhs = np.sum(inputs * F.col2im(other, inputs.shape, 3, 2, 1))
+        assert lhs == pytest.approx(rhs)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestPooling:
+    def test_max_pool_known_values(self):
+        inputs = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        output, _ = F.max_pool2d_forward(inputs, 2)
+        np.testing.assert_array_equal(output[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_backward_routes_to_argmax(self):
+        inputs = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        output, cache = F.max_pool2d_forward(inputs, 2)
+        grad = np.ones_like(output)
+        grad_input = F.max_pool2d_backward(grad, cache)
+        assert grad_input.sum() == pytest.approx(4.0)
+        assert grad_input[0, 0, 1, 1] == 1.0
+        assert grad_input[0, 0, 0, 0] == 0.0
+
+    def test_avg_pool_known_values(self):
+        inputs = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        output, _ = F.avg_pool2d_forward(inputs, 2)
+        np.testing.assert_array_equal(output[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_backward_distributes(self):
+        inputs = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        output, cache = F.avg_pool2d_forward(inputs, 2)
+        grad_input = F.avg_pool2d_backward(np.ones_like(output), cache)
+        np.testing.assert_allclose(grad_input, np.full((1, 1, 4, 4), 0.25))
+
+    def test_global_avg_pool(self):
+        inputs = np.arange(32, dtype=float).reshape(2, 2, 2, 4)
+        output, shape = F.global_avg_pool_forward(inputs)
+        assert output.shape == (2, 2)
+        grad = F.global_avg_pool_backward(np.ones_like(output), shape)
+        np.testing.assert_allclose(grad, np.full(inputs.shape, 1 / 8))
+
+
+class TestBatchNorm:
+    def test_normalises_in_training(self):
+        rng = np.random.default_rng(6)
+        inputs = rng.normal(3.0, 2.0, size=(8, 4, 5, 5))
+        gamma, beta = np.ones(4), np.zeros(4)
+        running_mean, running_var = np.zeros(4), np.ones(4)
+        output, _ = F.batchnorm_forward(
+            inputs, gamma, beta, running_mean, running_var, training=True
+        )
+        assert np.abs(output.mean(axis=(0, 2, 3))).max() < 1e-7
+        assert np.abs(output.var(axis=(0, 2, 3)) - 1).max() < 1e-4
+        # Running statistics moved toward the batch statistics.
+        assert np.all(running_mean != 0)
+
+    def test_eval_uses_running_statistics(self):
+        inputs = np.ones((2, 3, 2, 2))
+        gamma, beta = np.ones(3), np.zeros(3)
+        running_mean, running_var = np.zeros(3), np.ones(3)
+        output, _ = F.batchnorm_forward(
+            inputs, gamma, beta, running_mean, running_var, training=False
+        )
+        np.testing.assert_allclose(output, np.ones_like(inputs), rtol=1e-4)
+
+    def test_backward_numerically(self):
+        rng = np.random.default_rng(7)
+        inputs = rng.normal(size=(4, 3, 3, 3))
+        gamma = rng.normal(size=3)
+        beta = rng.normal(size=3)
+        grad_output = rng.normal(size=inputs.shape)
+
+        def forward_only(x, g, b):
+            out, _ = F.batchnorm_forward(
+                x, g, b, np.zeros(3), np.ones(3), training=True
+            )
+            return np.sum(out * grad_output)
+
+        _, cache = F.batchnorm_forward(
+            inputs, gamma, beta, np.zeros(3), np.ones(3), training=True
+        )
+        grad_input, grad_gamma, grad_beta = F.batchnorm_backward(grad_output, cache)
+        numeric_input = _numeric_gradient(lambda x: forward_only(x, gamma, beta), inputs)
+        numeric_gamma = _numeric_gradient(lambda g: forward_only(inputs, g, beta), gamma)
+        numeric_beta = _numeric_gradient(lambda b: forward_only(inputs, gamma, b), beta)
+        np.testing.assert_allclose(grad_input, numeric_input, rtol=1e-3, atol=1e-5)
+        np.testing.assert_allclose(grad_gamma, numeric_gamma, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(grad_beta, numeric_beta, rtol=1e-4, atol=1e-6)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_sums_to_one(self):
+        rng = np.random.default_rng(8)
+        logits = rng.normal(size=(5, 7))
+        probabilities = F.softmax(logits)
+        np.testing.assert_allclose(probabilities.sum(axis=1), np.ones(5))
+
+    def test_softmax_stability(self):
+        logits = np.array([[1000.0, 1000.0]])
+        probabilities = F.softmax(logits)
+        np.testing.assert_allclose(probabilities, [[0.5, 0.5]])
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        labels = np.array([0, 1])
+        assert F.cross_entropy(logits, labels) == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_gradient_numerically(self):
+        rng = np.random.default_rng(9)
+        logits = rng.normal(size=(4, 6))
+        labels = rng.integers(0, 6, size=4)
+        grad = F.cross_entropy_grad(logits, labels)
+        numeric = _numeric_gradient(lambda z: F.cross_entropy(z, labels), logits)
+        np.testing.assert_allclose(grad, numeric, rtol=1e-4, atol=1e-7)
+
+
+def _numeric_gradient(fn, array, eps=1e-5):
+    """Central-difference numerical gradient helper."""
+    gradient = np.zeros_like(array, dtype=float)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = fn(array)
+        array[index] = original - eps
+        minus = fn(array)
+        array[index] = original
+        gradient[index] = (plus - minus) / (2 * eps)
+        iterator.iternext()
+    return gradient

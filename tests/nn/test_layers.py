@@ -1,0 +1,180 @@
+"""Tests for the trainable layers and composite blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core.fta import FTAConfig
+from repro.nn.layers import (
+    BatchNorm2D,
+    Conv2D,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    ReLU6,
+    Residual,
+    Sequential,
+)
+
+
+class TestConv2DLayer:
+    def test_forward_shape(self):
+        layer = Conv2D(3, 8, 3, stride=1, padding=1)
+        output = layer(np.random.default_rng(0).normal(size=(2, 3, 8, 8)))
+        assert output.shape == (2, 8, 8, 8)
+
+    def test_backward_accumulates_grads(self):
+        rng = np.random.default_rng(1)
+        layer = Conv2D(2, 4, 3, padding=1)
+        inputs = rng.normal(size=(2, 2, 6, 6))
+        output = layer(inputs)
+        grad_input = layer.backward(np.ones_like(output))
+        assert grad_input.shape == inputs.shape
+        assert "weight" in layer.grads and "bias" in layer.grads
+        assert layer.grads["weight"].shape == layer.params["weight"].shape
+
+    def test_backward_before_forward_fails(self):
+        layer = Conv2D(2, 2, 3)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2, 2, 2)))
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            Conv2D(3, 4, 3, groups=2)
+
+    def test_qat_changes_effective_weights_only(self):
+        rng = np.random.default_rng(2)
+        layer = Conv2D(2, 4, 3, padding=1, rng=rng)
+        inputs = rng.normal(size=(1, 2, 6, 6))
+        float_output = layer(inputs)
+        master = layer.params["weight"].copy()
+        layer.enable_qat(apply_fta=True, fta_config=FTAConfig())
+        qat_output = layer(inputs)
+        # Master weights untouched, outputs close but generally not identical.
+        np.testing.assert_array_equal(layer.params["weight"], master)
+        assert qat_output.shape == float_output.shape
+        layer.disable_qat()
+        np.testing.assert_allclose(layer(inputs), float_output)
+
+
+class TestLinearLayer:
+    def test_forward_backward(self):
+        rng = np.random.default_rng(3)
+        layer = Linear(8, 4, rng=rng)
+        inputs = rng.normal(size=(5, 8))
+        output = layer(inputs)
+        assert output.shape == (5, 4)
+        grad_input = layer.backward(np.ones_like(output))
+        assert grad_input.shape == inputs.shape
+        np.testing.assert_allclose(layer.grads["bias"], np.full(4, 5.0))
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(4)
+        layer = Linear(3, 2, rng=rng)
+        inputs = rng.normal(size=(4, 3))
+        grad_output = rng.normal(size=(4, 2))
+        layer.zero_grad()
+        layer(inputs)
+        layer.backward(grad_output)
+        eps = 1e-6
+        weight = layer.params["weight"]
+        numeric = np.zeros_like(weight)
+        for i in range(weight.shape[0]):
+            for j in range(weight.shape[1]):
+                weight[i, j] += eps
+                plus = np.sum(layer.forward(inputs) * grad_output)
+                weight[i, j] -= 2 * eps
+                minus = np.sum(layer.forward(inputs) * grad_output)
+                weight[i, j] += eps
+                numeric[i, j] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(layer.grads["weight"], numeric, rtol=1e-5, atol=1e-7)
+
+
+class TestNormalizationAndActivation:
+    def test_batchnorm_train_eval_modes(self):
+        layer = BatchNorm2D(4)
+        inputs = np.random.default_rng(5).normal(2.0, 3.0, size=(8, 4, 4, 4))
+        layer.train()
+        out_train = layer(inputs)
+        assert abs(out_train.mean()) < 1e-6
+        layer.eval()
+        out_eval = layer(inputs)
+        assert out_eval.shape == inputs.shape
+
+    def test_relu_and_relu6(self):
+        inputs = np.array([[-1.0, 0.5, 7.0]])
+        assert ReLU()(inputs).tolist() == [[0.0, 0.5, 7.0]]
+        assert ReLU6()(inputs).tolist() == [[0.0, 0.5, 6.0]]
+
+    def test_relu_backward_masks(self):
+        layer = ReLU()
+        inputs = np.array([[-1.0, 2.0]])
+        layer(inputs)
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        assert grad.tolist() == [[0.0, 5.0]]
+
+
+class TestCompositeLayers:
+    def test_sequential_forward_backward_shapes(self):
+        model = Sequential(
+            Conv2D(3, 4, 3, padding=1),
+            BatchNorm2D(4),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Linear(4 * 4 * 4, 5),
+        )
+        inputs = np.random.default_rng(6).normal(size=(2, 3, 8, 8))
+        output = model(inputs)
+        assert output.shape == (2, 5)
+        grad = model.backward(np.ones_like(output))
+        assert grad.shape == inputs.shape
+
+    def test_parameters_enumeration(self):
+        model = Sequential(Conv2D(1, 2, 3), BatchNorm2D(2), Linear(4, 3))
+        names = [name for _, name in model.parameters()]
+        assert names.count("weight") == 2
+        assert names.count("gamma") == 1
+
+    def test_zero_grad(self):
+        model = Sequential(Linear(4, 2))
+        inputs = np.ones((3, 4))
+        output = model(inputs)
+        model.backward(np.ones_like(output))
+        model.zero_grad()
+        assert np.all(model.layers[0].grads["weight"] == 0)
+
+    def test_residual_identity(self):
+        body = Sequential(Conv2D(4, 4, 3, padding=1, bias=False))
+        block = Residual(body)
+        inputs = np.random.default_rng(7).normal(size=(1, 4, 5, 5))
+        output = block(inputs)
+        assert output.shape == inputs.shape
+        grad = block.backward(np.ones_like(output))
+        assert grad.shape == inputs.shape
+
+    def test_residual_projection_shortcut(self):
+        body = Sequential(Conv2D(4, 8, 3, stride=2, padding=1, bias=False))
+        shortcut = Sequential(Conv2D(4, 8, 1, stride=2, bias=False))
+        block = Residual(body, shortcut)
+        inputs = np.random.default_rng(8).normal(size=(1, 4, 6, 6))
+        output = block(inputs)
+        assert output.shape == (1, 8, 3, 3)
+        grad = block.backward(np.ones_like(output))
+        assert grad.shape == inputs.shape
+
+    def test_global_avg_pool_layer(self):
+        layer = GlobalAvgPool()
+        inputs = np.ones((2, 3, 4, 4))
+        output = layer(inputs)
+        np.testing.assert_allclose(output, np.ones((2, 3)))
+        grad = layer.backward(np.ones((2, 3)))
+        assert grad.shape == inputs.shape
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Sequential(BatchNorm2D(2)), ReLU())
+        model.eval()
+        assert model.layers[0].layers[0].training is False
+        model.train()
+        assert model.layers[0].layers[0].training is True

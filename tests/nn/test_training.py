@@ -1,0 +1,204 @@
+"""Integration-style tests: data, optimizers, training and QAT transforms."""
+
+import numpy as np
+import pytest
+
+from repro.core import csd
+from repro.nn import (
+    SGD,
+    Adam,
+    CrossEntropyLoss,
+    Linear,
+    ReLU,
+    Sequential,
+    SyntheticImageDataset,
+    Trainer,
+    accuracy,
+    apply_weight_override,
+    batch_iterator,
+    collect_weighted_layers,
+    enable_model_qat,
+    quantize_model,
+    restore_weights,
+)
+from repro.nn.layers import Flatten
+from repro.nn.models import MODEL_BUILDERS, build_model
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return SyntheticImageDataset.generate(
+        num_classes=4, samples_per_class=12, test_samples_per_class=6, image_size=8, seed=0
+    )
+
+
+class TestDataset:
+    def test_shapes_and_labels(self, small_dataset):
+        assert small_dataset.train_images.shape == (48, 3, 8, 8)
+        assert small_dataset.test_images.shape == (24, 3, 8, 8)
+        assert set(np.unique(small_dataset.train_labels)) == {0, 1, 2, 3}
+        assert small_dataset.input_shape == (3, 8, 8)
+
+    def test_values_in_unit_range(self, small_dataset):
+        assert small_dataset.train_images.min() >= 0.0
+        assert small_dataset.train_images.max() <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticImageDataset.generate(num_classes=2, samples_per_class=3, seed=7)
+        b = SyntheticImageDataset.generate(num_classes=2, samples_per_class=3, seed=7)
+        np.testing.assert_array_equal(a.train_images, b.train_images)
+
+    def test_invalid_classes(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset.generate(num_classes=1)
+
+    def test_batch_iterator_covers_everything(self, small_dataset):
+        seen = 0
+        for images, labels in batch_iterator(
+            small_dataset.train_images, small_dataset.train_labels, 7
+        ):
+            assert images.shape[0] == labels.shape[0]
+            seen += images.shape[0]
+        assert seen == small_dataset.train_images.shape[0]
+
+    def test_batch_iterator_invalid_batch(self, small_dataset):
+        with pytest.raises(ValueError):
+            list(batch_iterator(small_dataset.train_images, small_dataset.train_labels, 0))
+
+
+class TestOptimizers:
+    def _quadratic_model(self):
+        model = Sequential(Linear(2, 1, bias=False))
+        model.layers[0].params["weight"] = np.array([[2.0, -3.0]])
+        return model
+
+    def test_sgd_reduces_simple_loss(self):
+        model = self._quadratic_model()
+        optimizer = SGD(model, learning_rate=0.1, momentum=0.0)
+        inputs = np.array([[1.0, 1.0]])
+        for _ in range(50):
+            optimizer.zero_grad()
+            output = model(inputs)
+            grad = 2 * output  # d/dy of y^2
+            model.backward(grad)
+            optimizer.step()
+        assert abs(model(inputs)[0, 0]) < 1e-2
+
+    def test_adam_reduces_simple_loss(self):
+        model = self._quadratic_model()
+        optimizer = Adam(model, learning_rate=0.1)
+        inputs = np.array([[1.0, 1.0]])
+        for _ in range(100):
+            optimizer.zero_grad()
+            output = model(inputs)
+            model.backward(2 * output)
+            optimizer.step()
+        assert abs(model(inputs)[0, 0]) < 1e-2
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD(self._quadratic_model(), learning_rate=0.0)
+
+
+class TestLossHelpers:
+    def test_cross_entropy_loss_callable(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        loss, grad = loss_fn(logits, np.array([0, 1]))
+        assert loss > 0
+        assert grad.shape == logits.shape
+
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+class TestTrainer:
+    def test_training_improves_accuracy(self, small_dataset):
+        model = Sequential(
+            Flatten(),
+            Linear(3 * 8 * 8, 32),
+            ReLU(),
+            Linear(32, small_dataset.num_classes),
+        )
+        trainer = Trainer(model, small_dataset, batch_size=16)
+        initial = trainer.evaluate()
+        history = trainer.train(epochs=8)
+        assert history.final_test_accuracy > initial
+        assert history.final_test_accuracy > 0.5
+        assert len(history.train_loss) == 8
+
+    def test_qat_fine_tuning_runs(self, small_dataset):
+        model = Sequential(
+            Flatten(),
+            Linear(3 * 8 * 8, 16),
+            ReLU(),
+            Linear(16, small_dataset.num_classes),
+        )
+        trainer = Trainer(model, small_dataset, batch_size=16)
+        trainer.train(epochs=3)
+        history = trainer.fine_tune_with_qat(epochs=2, apply_fta=True)
+        assert len(history.test_accuracy) == 2
+
+    def test_enable_qat_counts_layers(self, small_dataset):
+        model = build_model("alexnet", num_classes=4)
+        count = enable_model_qat(model)
+        assert count == len(collect_weighted_layers(model))
+
+
+class TestModelZoo:
+    @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+    def test_forward_and_backward_shapes(self, name):
+        model = build_model(name, num_classes=5)
+        inputs = np.random.default_rng(0).normal(size=(2, 3, 16, 16))
+        output = model(inputs)
+        assert output.shape == (2, 5)
+        grad = model.backward(np.ones_like(output))
+        assert grad.shape == inputs.shape
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("lenet")
+
+    def test_registry_matches_paper_models(self):
+        assert set(MODEL_BUILDERS) == {
+            "alexnet",
+            "vgg19",
+            "resnet18",
+            "mobilenetv2",
+            "efficientnetb0",
+        }
+
+
+class TestQuantizeModel:
+    def test_records_cover_all_weighted_layers(self):
+        model = build_model("resnet18", num_classes=4)
+        records = quantize_model(model)
+        assert len(records) == len(collect_weighted_layers(model))
+        for record in records:
+            assert record.int_weights.shape == record.float_weights.shape
+            assert record.fta_int_weights.shape == record.float_weights.shape
+            assert np.all((record.thresholds >= 0) & (record.thresholds <= 2))
+
+    def test_fta_weights_respect_threshold(self):
+        model = build_model("vgg19", num_classes=4)
+        records = quantize_model(model)
+        for record in records[:3]:
+            flat = record.filter_major_fta_weights
+            for filter_index in range(flat.shape[0]):
+                counts = csd.count_nonzero_digits_array(flat[filter_index])
+                assert np.all(counts <= record.thresholds[filter_index])
+
+    def test_override_and_restore(self):
+        model = build_model("alexnet", num_classes=4)
+        records = quantize_model(model)
+        originals = [record.float_weights.copy() for record in records]
+        apply_weight_override(records, use_fta=True)
+        changed = any(
+            not np.array_equal(record.layer.params["weight"], original)
+            for record, original in zip(records, originals)
+        )
+        assert changed
+        restore_weights(records)
+        for record, original in zip(records, originals):
+            np.testing.assert_array_equal(record.layer.params["weight"], original)

@@ -1,0 +1,115 @@
+"""Tests for the cycle-level performance model and system metrics."""
+
+import pytest
+
+from repro.arch.config import DBPIMConfig
+from repro.sim.cycle_model import SPARSITY_VARIANTS, CycleModel
+from repro.sim.metrics import compute_metrics, peak_throughput_tops
+from repro.workloads import get_workload, profile_model
+
+
+@pytest.fixture(scope="module")
+def alexnet_runs():
+    profile = profile_model(get_workload("alexnet"), seed=0)
+    model = CycleModel()
+    return model, profile, model.run_all_variants(profile)
+
+
+@pytest.fixture(scope="module")
+def efficientnet_runs():
+    profile = profile_model(get_workload("efficientnetb0"), seed=0)
+    model = CycleModel()
+    return model, profile, model.run_all_variants(profile)
+
+
+class TestCycleModel:
+    def test_all_variants_produced(self, alexnet_runs):
+        _, _, runs = alexnet_runs
+        assert set(runs) == set(SPARSITY_VARIANTS)
+        for performance in runs.values():
+            assert performance.total_cycles > 0
+            assert performance.total_energy_pj > 0
+            assert performance.total_macs == runs["base"].total_macs
+
+    def test_speedup_ordering(self, alexnet_runs):
+        model, _, runs = alexnet_runs
+        base = runs["base"]
+        input_speedup = model.speedup(base, runs["input"])
+        weight_speedup = model.speedup(base, runs["weight"])
+        hybrid_speedup = model.speedup(base, runs["hybrid"])
+        assert 1.0 < input_speedup < weight_speedup < hybrid_speedup
+        # Paper ballpark: AlexNet weight-only ~5x, hybrid ~7.7x.
+        assert 3.0 < weight_speedup < 10.0
+        assert 5.0 < hybrid_speedup < 12.0
+
+    def test_energy_saving_ordering(self, alexnet_runs):
+        model, _, runs = alexnet_runs
+        base = runs["base"]
+        assert (
+            model.energy_saving(base, runs["hybrid"])
+            > model.energy_saving(base, runs["weight"])
+            > model.energy_saving(base, runs["input"])
+            > 0.0
+        )
+        assert 0.5 < model.energy_saving(base, runs["hybrid"]) < 0.95
+
+    def test_utilization_improves_with_weight_sparsity(self, alexnet_runs):
+        _, _, runs = alexnet_runs
+        assert runs["base"].actual_utilization < 0.55
+        assert runs["hybrid"].actual_utilization > 0.7
+
+    def test_standard_model_beats_compact_model(self, alexnet_runs, efficientnet_runs):
+        model, _, alexnet = alexnet_runs
+        _, _, efficientnet = efficientnet_runs
+        alexnet_speedup = model.speedup(alexnet["base"], alexnet["hybrid"])
+        efficientnet_speedup = model.speedup(
+            efficientnet["base"], efficientnet["hybrid"]
+        )
+        assert alexnet_speedup > efficientnet_speedup
+        # Compact models still accelerate meaningfully (paper: 3.55x).
+        assert efficientnet_speedup > 2.0
+
+    def test_unknown_variant_rejected(self, alexnet_runs):
+        model, profile, _ = alexnet_runs
+        with pytest.raises(ValueError):
+            model.run_model(profile, "bogus")
+
+    def test_layer_breakdown_consistency(self, alexnet_runs):
+        _, profile, runs = alexnet_runs
+        hybrid = runs["hybrid"]
+        assert len(hybrid.layers) == len(profile.layers)
+        assert sum(l.cycles for l in hybrid.layers) == pytest.approx(
+            hybrid.total_cycles
+        )
+        breakdown = hybrid.energy_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(hybrid.total_energy_pj)
+
+
+class TestMetrics:
+    def test_peak_throughput(self):
+        config = DBPIMConfig()
+        sparse_peak = peak_throughput_tops(config, threshold=2)
+        dense_peak = peak_throughput_tops(config.dense_baseline())
+        assert sparse_peak > dense_peak
+        assert sparse_peak / dense_peak == pytest.approx(4.0)
+        assert peak_throughput_tops(config, threshold=1) == pytest.approx(
+            2 * sparse_peak
+        )
+
+    def test_table3_style_metrics(self, alexnet_runs):
+        _, _, runs = alexnet_runs
+        hybrid = compute_metrics(runs["hybrid"])
+        base = compute_metrics(runs["base"])
+        assert hybrid.actual_utilization > 0.7 > base.actual_utilization
+        assert hybrid.peak_gops_per_macro > base.peak_gops_per_macro
+        assert hybrid.tops_per_watt > base.tops_per_watt
+        assert hybrid.tops_per_watt_per_mm2 > base.tops_per_watt_per_mm2
+        assert hybrid.latency_ms < base.latency_ms
+        assert hybrid.energy_uj < base.energy_uj
+        assert hybrid.area_mm2 > base.area_mm2  # sparsity support costs area
+
+    def test_energy_efficiency_in_paper_ballpark(self, alexnet_runs):
+        _, _, runs = alexnet_runs
+        hybrid = compute_metrics(runs["hybrid"])
+        # Paper: 18.14-45.20 TOPS/W system-level energy efficiency.
+        assert 10.0 < hybrid.tops_per_watt < 60.0

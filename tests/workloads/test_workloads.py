@@ -1,0 +1,135 @@
+"""Tests for the workload descriptors and sparsity profiles."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.layers import LayerKind, LayerShape
+from repro.workloads.models import PAPER_MODELS, get_workload, list_workloads
+from repro.workloads.profiles import (
+    profile_layer,
+    profile_model,
+    synthesize_activations,
+    synthesize_layer_weights,
+)
+
+
+class TestLayerShape:
+    def test_conv_geometry(self):
+        layer = LayerShape("c", LayerKind.CONV, 64, 128, 3, 1, 16, 1)
+        assert layer.output_size == 16
+        assert layer.output_positions == 256
+        assert layer.reduction_size == 64 * 9
+        assert layer.macs == 256 * 128 * 576
+        assert layer.weight_count == 128 * 576
+
+    def test_linear_geometry(self):
+        layer = LayerShape("fc", LayerKind.LINEAR, 512, 100)
+        assert layer.output_positions == 1
+        assert layer.reduction_size == 512
+        assert layer.macs == 512 * 100
+
+    def test_depthwise_geometry(self):
+        layer = LayerShape("dw", LayerKind.DEPTHWISE, 32, 32, 3, 2, 16, 1)
+        assert layer.reduction_size == 9
+        assert layer.output_size == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerShape("bad", "unknown", 3, 3)
+        with pytest.raises(ValueError):
+            LayerShape("bad", LayerKind.CONV, 0, 3)
+        with pytest.raises(ValueError):
+            LayerShape("bad", LayerKind.DEPTHWISE, 16, 32, 3)
+
+
+class TestPaperModels:
+    def test_all_five_models_present(self):
+        assert list_workloads() == [
+            "alexnet",
+            "vgg19",
+            "resnet18",
+            "mobilenetv2",
+            "efficientnetb0",
+        ]
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("lenet")
+
+    @pytest.mark.parametrize("name", sorted(PAPER_MODELS))
+    def test_layer_geometries_are_consistent(self, name):
+        workload = get_workload(name)
+        assert workload.total_macs > 1_000_000
+        assert workload.total_weights > 10_000
+        for layer in workload.layers:
+            assert layer.output_size >= 1
+
+    def test_redundancy_ordering_matches_paper_narrative(self):
+        # Standard over-parameterised models are more redundant than compact
+        # ones -- the property the FTA thresholds and speedups derive from.
+        assert get_workload("alexnet").redundancy > get_workload("resnet18").redundancy
+        assert get_workload("vgg19").redundancy > get_workload("mobilenetv2").redundancy
+        assert get_workload("resnet18").redundancy > get_workload("efficientnetb0").redundancy
+
+    def test_classifier_outputs_cifar100(self):
+        for name in list_workloads():
+            assert get_workload(name).layers[-1].out_channels == 100
+
+
+class TestSynthesis:
+    def test_weights_shape_and_determinism(self):
+        layer = get_workload("alexnet").layers[1]
+        a = synthesize_layer_weights(layer, 0.9, seed=3)
+        b = synthesize_layer_weights(layer, 0.9, seed=3)
+        np.testing.assert_array_equal(a, b)
+        assert a.shape[0] <= 64 and a.shape[1] <= 1024
+
+    def test_redundancy_validation(self):
+        layer = get_workload("alexnet").layers[0]
+        with pytest.raises(ValueError):
+            synthesize_layer_weights(layer, 1.5)
+        with pytest.raises(ValueError):
+            synthesize_activations(layer, 0.0)
+
+    def test_activations_are_uint8(self):
+        layer = get_workload("vgg19").layers[2]
+        activations = synthesize_activations(layer, 0.5, seed=1)
+        assert activations.min() >= 0 and activations.max() <= 255
+
+    def test_higher_redundancy_gives_lower_thresholds(self):
+        layer = get_workload("alexnet").layers[2]
+        redundant = profile_layer(layer, redundancy=0.95, activation_density=0.5)
+        compact = profile_layer(layer, redundancy=0.2, activation_density=0.5)
+        assert np.mean(redundant.thresholds) <= np.mean(compact.thresholds)
+
+
+class TestModelProfiles:
+    @pytest.fixture(scope="class")
+    def alexnet_profile(self):
+        return profile_model(get_workload("alexnet"), seed=0)
+
+    @pytest.fixture(scope="class")
+    def efficientnet_profile(self):
+        return profile_model(get_workload("efficientnetb0"), seed=0)
+
+    def test_profile_covers_all_layers(self, alexnet_profile):
+        assert len(alexnet_profile.layers) == len(get_workload("alexnet").layers)
+        for layer_profile in alexnet_profile.layers:
+            assert len(layer_profile.thresholds) == layer_profile.layer.out_channels
+            assert 0 <= layer_profile.input_active_columns <= 8
+            assert 0 <= layer_profile.storage_utilization <= 1
+
+    def test_standard_model_has_lower_thresholds_than_compact(
+        self, alexnet_profile, efficientnet_profile
+    ):
+        alexnet_hist = alexnet_profile.threshold_histogram()
+        efficientnet_hist = efficientnet_profile.threshold_histogram()
+        alexnet_share_one = alexnet_hist.get(1, 0) / sum(alexnet_hist.values())
+        efficientnet_share_one = efficientnet_hist.get(1, 0) / sum(
+            efficientnet_hist.values()
+        )
+        assert alexnet_share_one > efficientnet_share_one
+
+    def test_average_metrics_bounded(self, alexnet_profile):
+        assert 0 < alexnet_profile.average_active_columns <= 8
+        assert 0 < alexnet_profile.average_storage_utilization <= 1
