@@ -3,6 +3,10 @@
 Trains mini versions of the paper's evaluation networks on the synthetic
 dataset, applies INT8 quantization and the FTA approximation, and prints the
 accuracy of each variant -- the same pipeline the paper uses on CIFAR-100.
+One ``Experiment`` session shares the dataset (and the single seed) across
+all models.
+
+Equivalent CLI:  repro run table2 --models alexnet resnet18 --epochs 8
 
 Run with:  python examples/accuracy_study.py [model ...]
            (default: alexnet resnet18)
@@ -10,22 +14,24 @@ Run with:  python examples/accuracy_study.py [model ...]
 
 import sys
 
-from repro.eval.table2_accuracy import evaluate_model_accuracy, format_table
+from repro.api import Experiment
+from repro.api.formatting import format_accuracy
 
 
 def main() -> None:
     models = sys.argv[1:] or ["alexnet", "resnet18"]
+    session = Experiment(seed=0)
     rows = []
     for name in models:
         print(f"training mini {name} ...")
-        row = evaluate_model_accuracy(name, epochs=8, qat_epochs=2, seed=0)
+        row = session.evaluate_accuracy(name, epochs=8, qat_epochs=2)
         print(
             f"  float {row.float_accuracy:.1%} | int8 {row.int8_accuracy:.1%} | "
             f"fta {row.fta_accuracy:.1%} | drop {row.accuracy_drop:+.2%}"
         )
         rows.append(row)
     print()
-    print(format_table(rows))
+    print(format_accuracy(rows))
 
 
 if __name__ == "__main__":

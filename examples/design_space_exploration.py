@@ -8,28 +8,25 @@ what-if tool, the way an architect adopting DB-PIM would:
 * sweep the IPU group size,
 
 reporting the hybrid speedup and energy saving over the dense baseline for a
-chosen workload.
+chosen workload.  Each design point is one ``repro.api.Experiment`` built
+with the validated config/FTA builder helpers.
 
 Run with:  python examples/design_space_exploration.py [model]
            (default: resnet18)
 """
 
 import sys
-from dataclasses import replace
 
-from repro.arch.config import DBPIMConfig, MacroConfig
-from repro.core.fta import FTAConfig
-from repro.sim import CycleModel
-from repro.workloads import get_workload, profile_model
+from repro.api import Experiment, build_dbpim_config, build_fta_config
+from repro.workloads import get_workload
 
 
-def report(tag: str, config: DBPIMConfig, profile) -> None:
-    model = CycleModel(config)
-    runs = model.run_all_variants(profile)
+def report(tag: str, session: Experiment, model: str) -> None:
+    runs = session.run_variants(model)
     base = runs["base"]
     print(
-        f"  {tag:<28} speedup {model.speedup(base, runs['hybrid']):5.2f}x   "
-        f"energy saving {model.energy_saving(base, runs['hybrid']):6.1%}   "
+        f"  {tag:<28} speedup {session.speedup(base, runs['hybrid']):5.2f}x   "
+        f"energy saving {session.energy_saving(base, runs['hybrid']):6.1%}   "
         f"U_act {runs['hybrid'].actual_utilization:6.1%}"
     )
 
@@ -40,22 +37,22 @@ def main() -> None:
     print(f"workload: {name} ({workload.total_macs / 1e6:.1f} MMACs)")
 
     print("\nmacro count sweep (hybrid sparsity):")
-    profile = profile_model(workload, seed=0)
+    base = Experiment(seed=0)
     for num_macros in (2, 4, 8):
-        report(f"{num_macros} macros", DBPIMConfig(num_macros=num_macros), profile)
+        # with_config shares the profile cache: the workload is profiled
+        # once, not once per design point.
+        session = base.with_config(build_dbpim_config(num_macros=num_macros))
+        report(f"{num_macros} macros", session, name)
 
     print("\nFTA threshold cap sweep (ablation of the φ_th ≤ 2 choice):")
     for cap in (1, 2, 3):
-        profile_cap = profile_model(
-            workload, seed=0, fta_config=FTAConfig(max_threshold=cap)
-        )
-        report(f"max φ_th = {cap}", DBPIMConfig(), profile_cap)
+        session = Experiment(fta_config=build_fta_config(max_threshold=cap), seed=0)
+        report(f"max φ_th = {cap}", session, name)
 
     print("\nIPU group size sweep (input-bit skipping granularity):")
     for group in (8, 16, 32):
-        profile_group = profile_model(workload, seed=0, input_group=group)
-        config = DBPIMConfig(macro=replace(MacroConfig(), input_group=group))
-        report(f"group of {group}", config, profile_group)
+        session = Experiment(config=build_dbpim_config(input_group=group), seed=0)
+        report(f"group of {group}", session, name)
 
 
 if __name__ == "__main__":

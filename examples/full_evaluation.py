@@ -1,41 +1,27 @@
 """Regenerate every table and figure of the paper's evaluation section.
 
 Produces text renderings of Fig. 2(a), Fig. 2(b), Table 1, Fig. 7 (speedup
-and energy saving), Table 3 and Table 4.  Table 2 (the accuracy study, which
-needs training) is covered separately by ``examples/accuracy_study.py``.
+and energy saving), Table 3 and Table 4 through the ``repro.api`` façade.
+Table 2 (the accuracy study, which needs training) is covered separately by
+``examples/accuracy_study.py``.
+
+Equivalent CLI:  repro run fig2a && repro run fig2b && ... && repro run table4
+or, in parallel with caching:  repro sweep --max-workers 4 --cache-dir .cache
 
 Run with:  python examples/full_evaluation.py
 """
 
-from repro.eval.fig2_sparsity import (
-    format_input_sparsity,
-    format_weight_sparsity,
-    input_sparsity_table,
-    weight_sparsity_table,
-)
-from repro.eval.fig7_speedup_energy import format_table as format_fig7
-from repro.eval.fig7_speedup_energy import speedup_energy_table
-from repro.eval.table1_related import format_table as format_table1
-from repro.eval.table1_related import related_work_table
-from repro.eval.table3_comparison import comparison_table
-from repro.eval.table3_comparison import format_table as format_table3
-from repro.eval.table4_area import area_table
-from repro.eval.table4_area import format_table as format_table4
+from repro.api import Experiment, format_result, get_experiment_spec
 
 
 def main() -> None:
-    print("=== Fig. 2(a): zero-bit ratio in weights ===")
-    print(format_weight_sparsity(weight_sparsity_table()))
-    print("\n=== Fig. 2(b): all-zero bit columns in input feature groups ===")
-    print(format_input_sparsity(input_sparsity_table()))
-    print("\n=== Table 1: sparsity exploitation comparison ===")
-    print(format_table1(related_work_table()))
-    print("\n=== Fig. 7: speedup and energy saving over the dense baseline ===")
-    print(format_fig7(speedup_energy_table()))
-    print("\n=== Table 3: comparison with prior works ===")
-    print(format_table3(comparison_table()))
-    print("\n=== Table 4: area breakdown ===")
-    print(format_table4(area_table()))
+    session = Experiment(config="paper-28nm", seed=0)
+    for experiment in ("fig2a", "fig2b", "table1", "fig7", "table3", "table4"):
+        spec = get_experiment_spec(experiment)
+        result = session.run(experiment)
+        print(f"=== {spec.reference}: {spec.title} ===")
+        print(format_result(result))
+        print()
 
 
 if __name__ == "__main__":

@@ -7,7 +7,7 @@ layer:
 2. run the FTA algorithm (CSD encoding + per-filter thresholds),
 3. compress the filters into dyadic-block values + sign/index metadata,
 4. execute the layer bit-exactly on the functional DB-PIM macro model and on
-   the dense baseline, and
+   the dense baseline through the ``repro.api`` façade, and
 5. compare cycles, utilisation and energy.
 
 Run with:  python examples/quickstart.py
@@ -15,7 +15,7 @@ Run with:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.arch import DBPIMAccelerator, DBPIMConfig
+from repro.api import Experiment
 from repro.compiler import compress_layer
 from repro.core import approximate_layer, quantize_weights
 
@@ -46,11 +46,12 @@ def main() -> None:
         f"{compressed.compression_ratio:.2f}x compression)"
     )
 
-    # 4. Execute on the DB-PIM macro model and on the dense baseline.
-    sparse = DBPIMAccelerator(DBPIMConfig()).run_linear(int_weights, inputs)
-    dense = DBPIMAccelerator(DBPIMConfig().dense_baseline()).run_linear(
-        int_weights, inputs
-    )
+    # 4. Execute on the DB-PIM macro model and on the dense baseline.  The
+    #    Experiment façade dispatches to the functional accelerator with the
+    #    session config switched to the requested sparsity variant.
+    session = Experiment(config="paper-28nm", seed=0)
+    sparse = session.execute_linear(int_weights, inputs, variant="hybrid")
+    dense = session.execute_linear(int_weights, inputs, variant="base")
     reference = fta.approximated @ inputs
     assert np.array_equal(sparse.outputs, reference), "macro output mismatch"
 

@@ -9,13 +9,43 @@ the DB-PIM architecture (``repro.arch``), the offline compiler
 (``repro.workloads``), the cycle-level performance simulator (``repro.sim``)
 and the experiment drivers that regenerate every table and figure
 (``repro.eval``).
+
+The canonical entry point is the :mod:`repro.api` façade: a config registry
+of named frozen presets, the :class:`~repro.api.Experiment` /
+:class:`~repro.api.Session` object with uniform methods over the whole
+stack, a typed JSON-round-trippable result schema
+(:class:`~repro.api.ExperimentResult`, :class:`~repro.api.SweepResult`), a
+parallel cached sweep runner (:func:`~repro.api.run_sweep`) and the
+``repro`` console script.  The historical ``repro.eval.*`` driver functions
+remain as thin wrappers over the façade.  Future scaling work (batching,
+sharding, multi-backend dispatch) should build on :mod:`repro.api` rather
+than adding new bespoke entry points.
+
+Quickstart::
+
+    from repro import Experiment
+
+    session = Experiment(config="paper-28nm", seed=0)
+    result = session.run("fig7", models=["resnet18"])
+    print(result.to_json())
 """
 
-from . import arch, compiler, core, eval, nn, sim, workloads
+from . import api, arch, compiler, core, eval, nn, sim, workloads
+from .api import (
+    Experiment,
+    ExperimentResult,
+    Session,
+    SweepResult,
+    get_config,
+    list_configs,
+    list_experiments,
+    run_sweep,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "arch",
     "compiler",
     "core",
@@ -23,5 +53,13 @@ __all__ = [
     "nn",
     "sim",
     "workloads",
+    "Experiment",
+    "Session",
+    "ExperimentResult",
+    "SweepResult",
+    "run_sweep",
+    "get_config",
+    "list_configs",
+    "list_experiments",
     "__version__",
 ]

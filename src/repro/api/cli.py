@@ -1,0 +1,233 @@
+"""The ``repro`` command-line interface.
+
+Three subcommands map the whole evaluation section onto the façade:
+
+* ``repro list`` -- registered experiments, workloads and config presets;
+* ``repro run fig7 --models resnet18 vgg19 --json out.json`` -- run one
+  experiment and print its table (optionally dumping the typed result);
+* ``repro sweep --experiments fig7 --max-workers 4 --cache-dir .cache`` --
+  fan a grid out over workers with on-disk result caching.
+
+Installed as a console script via the packaging metadata; also runnable as
+``python -m repro.api.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Optional, Sequence
+
+from .configs import list_configs
+from .experiment import Experiment, get_experiment_spec, list_experiments
+from .formatting import format_result, format_sweep
+from .sweep import build_grid, run_sweep
+
+__all__ = ["CLIError", "build_parser", "main"]
+
+
+class CLIError(Exception):
+    """A user-input problem (unknown experiment/workload/preset, bad flag
+    combination).  Only these are reported as one-line ``repro: error``
+    messages; genuine internal failures keep their tracebacks."""
+
+
+def _validate(call, *args, **kwargs):
+    """Run a *validation* callable, converting its expected rejection
+    exceptions into :class:`CLIError`."""
+    try:
+        return call(*args, **kwargs)
+    except (KeyError, ValueError, TypeError) as error:
+        message = error.args[0] if error.args else str(error)
+        raise CLIError(message) from error
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the DB-PIM (DAC 2024) evaluation: every paper "
+            "table/figure behind one uniform interface."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list experiments, workloads and config presets"
+    )
+    list_parser.add_argument(
+        "--json", action="store_true", help="emit the listing as JSON"
+    )
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment and print its table"
+    )
+    run_parser.add_argument(
+        "experiment", help="experiment id (fig2a, fig2b, fig7, table1..table4)"
+    )
+    run_parser.add_argument(
+        "--models", nargs="+", default=None, metavar="MODEL",
+        help="workloads to run (default: all five paper models)",
+    )
+    run_parser.add_argument(
+        "--config", default=None, metavar="PRESET",
+        help="config preset name (default: paper-28nm)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    run_parser.add_argument(
+        "--epochs", type=int, default=None,
+        help="pre-training epochs (table2 only)",
+    )
+    run_parser.add_argument(
+        "--qat-epochs", type=int, default=None,
+        help="FTA-aware QAT fine-tuning epochs (table2 only)",
+    )
+    run_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the typed result as JSON ('-' for stdout)",
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the formatted table"
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a grid of experiments in parallel, with caching"
+    )
+    sweep_parser.add_argument(
+        "--experiments", nargs="+", default=None, metavar="ID",
+        help="experiment ids (default: every non-training experiment)",
+    )
+    sweep_parser.add_argument(
+        "--models", nargs="+", default=None, metavar="MODEL",
+        help="workloads for the model-parameterised experiments",
+    )
+    sweep_parser.add_argument(
+        "--configs", nargs="+", default=["paper-28nm"], metavar="PRESET",
+        help="config preset names",
+    )
+    sweep_parser.add_argument(
+        "--seeds", nargs="+", type=int, default=[0], metavar="SEED",
+        help="RNG seeds",
+    )
+    sweep_parser.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker threads (default: one per grid point, capped at CPUs)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk JSON result cache directory",
+    )
+    sweep_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the sweep result as JSON ('-' for stdout)",
+    )
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the formatted tables"
+    )
+    return parser
+
+
+def _emit_json(payload: str, destination: str) -> None:
+    if destination == "-":
+        print(payload)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    from ..workloads.models import list_workloads
+
+    specs = list_experiments()
+    if args.json:
+        payload: Dict[str, Any] = {
+            "experiments": [
+                {
+                    "id": spec.id,
+                    "reference": spec.reference,
+                    "title": spec.title,
+                    "takes_models": spec.takes_models,
+                    "heavy": spec.heavy,
+                }
+                for spec in specs
+            ],
+            "workloads": list_workloads(),
+            "configs": list_configs(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print("experiments:")
+    for spec in specs:
+        flags = " (trains networks)" if spec.heavy else ""
+        print(f"  {spec.id:<8} {spec.reference:<10} {spec.title}{flags}")
+    print(f"workloads: {' '.join(list_workloads())}")
+    print(f"configs:   {' '.join(list_configs())}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    spec = _validate(get_experiment_spec, args.experiment)
+    params: Dict[str, Any] = {}
+    if args.models is not None:
+        if not spec.takes_models:
+            raise CLIError(f"experiment {spec.id!r} does not take --models")
+        params["models"] = args.models
+    for name, value in (("epochs", args.epochs), ("qat_epochs", args.qat_epochs)):
+        if value is not None:
+            if name not in spec.default_params:
+                raise CLIError(
+                    f"experiment {spec.id!r} does not take --{name.replace('_', '-')}"
+                )
+            params[name] = value
+    session = _validate(Experiment, config=args.config, seed=args.seed)
+    if "models" in params:
+        params["models"] = _validate(session._resolve_models, params["models"])
+    result = session.run(spec.id, **params)
+    if not args.quiet:
+        print(f"=== {spec.reference}: {spec.title} ===")
+        print(format_result(result))
+    if args.json is not None:
+        _emit_json(result.to_json(), args.json)
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    # Validate every grid axis eagerly, before any worker starts.
+    _validate(build_grid, experiments=args.experiments, configs=args.configs)
+    if args.models is not None:
+        from ..workloads.models import get_workload
+
+        for model in args.models:
+            _validate(get_workload, model)
+    sweep = run_sweep(
+        experiments=args.experiments,
+        models=args.models,
+        configs=args.configs,
+        seeds=args.seeds,
+        max_workers=args.max_workers,
+        cache_dir=args.cache_dir,
+    )
+    if not args.quiet:
+        print(format_sweep(sweep))
+    if args.json is not None:
+        _emit_json(sweep.to_json(), args.json)
+    return 0
+
+
+_COMMANDS = {"list": _command_list, "run": _command_run, "sweep": _command_sweep}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except CLIError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

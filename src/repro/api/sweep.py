@@ -1,0 +1,251 @@
+"""Parallel, cached sweep runner over (experiment x model x config) grids.
+
+Regenerating the paper's whole evaluation section -- or a design-space grid
+of it -- is a fan-out of independent experiment points, so this module turns
+it into exactly that:
+
+* :func:`build_grid` expands (experiments x models x configs x seeds) into
+  :class:`SweepPoint` s, splitting the model-parameterised experiments into
+  one point per model so the fan-out is maximally parallel;
+* :func:`run_sweep` executes the grid over ``concurrent.futures`` workers
+  (a thread pool: numpy releases the GIL in the hot kernels, points are
+  I/O-bound on a warm cache, and threads keep user-registered config
+  presets visible; process-based execution is a future scaling step) with
+  an on-disk JSON result cache keyed by a content hash of the point
+  (experiment id, canonical parameters, seed, schema version, package
+  version and the full hardware/FTA configuration digest).  A warm-cache
+  re-run deserialises every point without re-executing any simulation.
+
+Example::
+
+    from repro.api import run_sweep
+
+    sweep = run_sweep(experiments=("fig7",), max_workers=4,
+                      cache_dir=".repro-cache")
+    for result in sweep.filter("fig7"):
+        print(result.params["models"], result.rows[0].speedup["hybrid"])
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .configs import config_digest, get_config
+from .experiment import Experiment, get_experiment_spec
+from .results import SCHEMA_VERSION, ExperimentResult, SweepResult, _jsonify
+
+__all__ = [
+    "DEFAULT_SWEEP_EXPERIMENTS",
+    "SweepPoint",
+    "build_grid",
+    "run_point",
+    "run_sweep",
+]
+
+#: Experiments included in a sweep by default: everything except the
+#: training-based accuracy study (minutes-scale; opt in explicitly).
+DEFAULT_SWEEP_EXPERIMENTS = ("fig2a", "fig2b", "fig7", "table1", "table3", "table4")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent cell of a sweep grid."""
+
+    experiment: str
+    config: str = "paper-28nm"
+    seed: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _jsonify(dict(self.params)))
+
+    def cache_key(self) -> str:
+        """Content hash identifying this point's result in the cache.
+
+        Covers the experiment id, canonical parameters, seed, the full
+        configuration contents (not just the preset name), the result schema
+        version and the package version -- so renaming a preset is harmless
+        while changing its contents, or upgrading to a release whose
+        simulator produces different numbers, invalidates the cached
+        entries.
+        """
+        from .. import __version__
+
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "version": __version__,
+            "experiment": self.experiment,
+            "params": self.params,
+            "seed": self.seed,
+            "config_digest": config_digest(get_config(self.config)),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def build_grid(
+    experiments: Optional[Sequence[str]] = None,
+    models: Optional[Sequence[str]] = None,
+    configs: Sequence[str] = ("paper-28nm",),
+    seeds: Sequence[int] = (0,),
+    params_by_experiment: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> List[SweepPoint]:
+    """Expand a sweep request into independent grid points.
+
+    Model-parameterised experiments become one point per model (so five
+    models of Fig. 7 fan out to five workers); model-free experiments
+    (Table 1, Table 4) contribute a single point per (config, seed).
+
+    Args:
+        experiments: experiment ids (default: every non-training experiment).
+        models: workload names (default: all five paper models).
+        configs: registered preset names.
+        seeds: RNG seeds.
+        params_by_experiment: extra per-experiment parameters, e.g.
+            ``{"table2": {"epochs": 4}}``.
+    """
+    ids = tuple(experiments) if experiments is not None else DEFAULT_SWEEP_EXPERIMENTS
+    extra = dict(params_by_experiment or {})
+    if models is not None:
+        if not models:
+            raise ValueError(
+                "empty model list; pass None (or omit the argument) to sweep "
+                "every workload"
+            )
+        for model in models:
+            _get_workload(model)  # validate eagerly, before any worker starts
+    points: List[SweepPoint] = []
+    for config in configs:
+        get_config(config)  # validate eagerly, before any worker starts
+        for seed in seeds:
+            for experiment in ids:
+                spec = get_experiment_spec(experiment)
+                overrides = dict(extra.get(spec.id, {}))
+                model_list = tuple(models) if models is not None else _all_models()
+                if spec.takes_models and not spec.aggregates_models:
+                    for model in model_list:
+                        points.append(
+                            SweepPoint(
+                                experiment=spec.id,
+                                config=config,
+                                seed=int(seed),
+                                params={**overrides, "models": [model]},
+                            )
+                        )
+                elif spec.takes_models:
+                    # Experiments that aggregate across models (e.g. the
+                    # Table 3 DB-PIM column) keep the list in one point so
+                    # sweep results match a direct `Experiment.run`.
+                    points.append(
+                        SweepPoint(
+                            experiment=spec.id,
+                            config=config,
+                            seed=int(seed),
+                            params={**overrides, "models": list(model_list)},
+                        )
+                    )
+                else:
+                    points.append(
+                        SweepPoint(
+                            experiment=spec.id,
+                            config=config,
+                            seed=int(seed),
+                            params=overrides,
+                        )
+                    )
+    return points
+
+
+def _all_models() -> Tuple[str, ...]:
+    from ..workloads.models import list_workloads
+
+    return tuple(list_workloads())
+
+
+def _get_workload(name: str):
+    from ..workloads.models import get_workload
+
+    return get_workload(name)
+
+
+def run_point(
+    point: SweepPoint, cache_dir: Optional[Union[str, Path]] = None
+) -> Tuple[ExperimentResult, bool]:
+    """Execute (or load) one grid point.
+
+    Returns:
+        ``(result, cache_hit)`` -- ``cache_hit`` is True when the result was
+        deserialised from the on-disk cache without running any simulation.
+    """
+    cache_path: Optional[Path] = None
+    if cache_dir is not None:
+        cache_path = Path(cache_dir) / f"{point.cache_key()}.json"
+        if cache_path.exists():
+            try:
+                return ExperimentResult.load(cache_path), True
+            except (OSError, ValueError, KeyError, TypeError):
+                # A truncated/corrupted entry must not brick the sweep:
+                # treat it as a miss and overwrite it below.
+                pass
+    session = Experiment(config=point.config, seed=point.seed)
+    result = session.run(point.experiment, **point.params)
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        result.save(cache_path)
+    return result, False
+
+
+def run_sweep(
+    experiments: Optional[Sequence[str]] = None,
+    models: Optional[Sequence[str]] = None,
+    configs: Sequence[str] = ("paper-28nm",),
+    seeds: Sequence[int] = (0,),
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    params_by_experiment: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> SweepResult:
+    """Run a grid of experiment points in parallel, with result caching.
+
+    Args:
+        experiments: experiment ids (default: every non-training experiment).
+        models: workload names for the model-parameterised experiments.
+        configs: registered configuration preset names.
+        seeds: RNG seeds.
+        max_workers: worker threads (default: one per point, capped at the
+            CPU count; 1 forces sequential execution).
+        cache_dir: directory for the JSON result cache (``None`` disables
+            caching).
+        params_by_experiment: extra per-experiment parameters.
+
+    Returns:
+        A :class:`SweepResult` with the per-point results in grid order and
+        the cache hit/miss counts.
+    """
+    grid = build_grid(
+        experiments=experiments,
+        models=models,
+        configs=configs,
+        seeds=seeds,
+        params_by_experiment=params_by_experiment,
+    )
+    if max_workers is None:
+        max_workers = max(1, min(len(grid), os.cpu_count() or 1))
+    if max_workers <= 1 or len(grid) <= 1:
+        outcomes = [run_point(point, cache_dir) for point in grid]
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as executor:
+            futures = [
+                executor.submit(run_point, point, cache_dir) for point in grid
+            ]
+            outcomes = [future.result() for future in futures]
+    results = tuple(result for result, _ in outcomes)
+    hits = sum(1 for _, hit in outcomes if hit)
+    return SweepResult(
+        results=results, cache_hits=hits, cache_misses=len(outcomes) - hits
+    )

@@ -51,6 +51,8 @@ class MacroConfig:
     def __post_init__(self) -> None:
         if min(self.compartments, self.rows, self.columns) <= 0:
             raise ValueError("macro geometry must be positive")
+        if min(self.weight_bits, self.input_bits, self.input_group) <= 0:
+            raise ValueError("bit widths and input_group must be positive")
         if self.columns % self.weight_bits != 0:
             raise ValueError("columns must be a multiple of weight_bits")
 

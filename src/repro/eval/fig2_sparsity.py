@@ -7,19 +7,20 @@
 
 Weights and activations are synthesised per the substitution documented in
 DESIGN.md; the encodings and group analyses run the real library code.
+
+This module is a thin backwards-compatible wrapper: the computation lives on
+:class:`repro.api.Experiment` (experiment ids ``"fig2a"`` / ``"fig2b"``) and
+the row records / formatters in :mod:`repro.api.results` /
+:mod:`repro.api.formatting`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-import numpy as np
-
-from ..core.quantization import quantize_weights
-from ..core.sparsity import analyze_input_sparsity, analyze_weight_sparsity
-from ..workloads.models import list_workloads, get_workload
-from ..workloads.profiles import synthesize_activations, synthesize_layer_weights
+from ..api.experiment import MAX_LAYERS_SAMPLED, Experiment
+from ..api.formatting import format_input_sparsity, format_weight_sparsity
+from ..api.results import InputSparsityRow, WeightSparsityRow
 
 __all__ = [
     "WeightSparsityRow",
@@ -28,62 +29,15 @@ __all__ = [
     "input_sparsity_table",
     "format_weight_sparsity",
     "format_input_sparsity",
+    "MAX_LAYERS_SAMPLED",
 ]
-
-#: Layers sampled per model (keeps the figure regeneration fast while still
-#: averaging over early/middle/late layers).
-MAX_LAYERS_SAMPLED = 6
-
-
-@dataclass(frozen=True)
-class WeightSparsityRow:
-    """One bar group of Fig. 2(a)."""
-
-    model: str
-    binary_zero_ratio: float
-    csd_zero_ratio: float
-    fta_zero_ratio: float
-
-
-@dataclass(frozen=True)
-class InputSparsityRow:
-    """One bar group of Fig. 2(b)."""
-
-    model: str
-    zero_column_ratio: Dict[int, float]
-
-
-def _sampled_layers(name: str) -> List:
-    workload = get_workload(name)
-    layers = list(workload.layers)
-    if len(layers) <= MAX_LAYERS_SAMPLED:
-        return layers
-    indices = np.linspace(0, len(layers) - 1, MAX_LAYERS_SAMPLED).astype(int)
-    return [layers[i] for i in indices]
 
 
 def weight_sparsity_table(
     models: Sequence[str] = (), seed: int = 0
 ) -> List[WeightSparsityRow]:
     """Compute Fig. 2(a): per-model zero-bit ratios of the three encodings."""
-    rows = []
-    for name in models or list_workloads():
-        workload = get_workload(name)
-        quantized_layers = []
-        for layer in _sampled_layers(name):
-            float_weights = synthesize_layer_weights(layer, workload.redundancy, seed)
-            int_weights, _ = quantize_weights(float_weights, per_channel=True)
-            quantized_layers.append(int_weights)
-        report = analyze_weight_sparsity(quantized_layers)
-        rows.append(
-            WeightSparsityRow(
-                model=name,
-                binary_zero_ratio=report.binary,
-                csd_zero_ratio=report.csd,
-                fta_zero_ratio=report.fta,
-            )
-        )
-    return rows
+    return Experiment(seed=seed).weight_sparsity(models or None)
 
 
 def input_sparsity_table(
@@ -92,45 +46,4 @@ def input_sparsity_table(
     seed: int = 0,
 ) -> List[InputSparsityRow]:
     """Compute Fig. 2(b): per-model zero bit-column ratios by group size."""
-    rows = []
-    for name in models or list_workloads():
-        workload = get_workload(name)
-        activations = np.concatenate(
-            [
-                synthesize_activations(layer, workload.activation_density, seed)
-                for layer in _sampled_layers(name)
-            ]
-        )
-        rows.append(
-            InputSparsityRow(
-                model=name,
-                zero_column_ratio=analyze_input_sparsity(activations, group_sizes),
-            )
-        )
-    return rows
-
-
-def format_weight_sparsity(rows: Sequence[WeightSparsityRow]) -> str:
-    """Render Fig. 2(a) as an aligned text table."""
-    lines = [f"{'Model':<16}{'Ori_Zero':>10}{'CSD_Zero':>10}{'Ours':>10}"]
-    for row in rows:
-        lines.append(
-            f"{row.model:<16}{row.binary_zero_ratio:>9.1%}"
-            f"{row.csd_zero_ratio:>9.1%}{row.fta_zero_ratio:>9.1%}"
-        )
-    return "\n".join(lines)
-
-
-def format_input_sparsity(rows: Sequence[InputSparsityRow]) -> str:
-    """Render Fig. 2(b) as an aligned text table."""
-    if not rows:
-        return ""
-    group_sizes = sorted(rows[0].zero_column_ratio)
-    header = f"{'Model':<16}" + "".join(f"{'group ' + str(g):>12}" for g in group_sizes)
-    lines = [header]
-    for row in rows:
-        lines.append(
-            f"{row.model:<16}"
-            + "".join(f"{row.zero_column_ratio[g]:>11.1%}" for g in group_sizes)
-        )
-    return "\n".join(lines)
+    return Experiment(seed=seed).input_sparsity(models or None, group_sizes=group_sizes)

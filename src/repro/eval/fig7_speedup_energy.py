@@ -4,29 +4,21 @@ For every evaluation network the cycle model runs the four configurations
 (base, input-sparsity-only, weight-sparsity-only, hybrid) and reports the
 speedup (Fig. 7(a) is plotted as energy saving and 7(b) as speedup in the
 paper; both series are produced here) relative to the dense baseline.
+
+This module is a thin backwards-compatible wrapper: the computation lives on
+:class:`repro.api.Experiment` (experiment id ``"fig7"``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
+from ..api.experiment import Experiment
+from ..api.formatting import format_speedup_energy as format_table
+from ..api.results import SparsityBenefitRow
 from ..arch.config import DBPIMConfig
-from ..sim.cycle_model import CycleModel
-from ..workloads.models import list_workloads, get_workload
-from ..workloads.profiles import profile_model
 
 __all__ = ["SparsityBenefitRow", "speedup_energy_table", "format_table"]
-
-
-@dataclass(frozen=True)
-class SparsityBenefitRow:
-    """Speedups and energy savings of one model (one bar group of Fig. 7)."""
-
-    model: str
-    speedup: Dict[str, float]
-    energy_saving: Dict[str, float]
-    utilization: Dict[str, float]
 
 
 def speedup_energy_table(
@@ -35,47 +27,4 @@ def speedup_energy_table(
     seed: int = 0,
 ) -> List[SparsityBenefitRow]:
     """Run the Fig. 7 experiment for a list of models."""
-    cycle_model = CycleModel(config)
-    rows = []
-    for name in models or list_workloads():
-        profile = profile_model(get_workload(name), seed=seed)
-        runs = cycle_model.run_all_variants(profile)
-        base = runs["base"]
-        speedup = {
-            variant: cycle_model.speedup(base, runs[variant])
-            for variant in ("input", "weight", "hybrid")
-        }
-        saving = {
-            variant: cycle_model.energy_saving(base, runs[variant])
-            for variant in ("input", "weight", "hybrid")
-        }
-        utilization = {
-            variant: runs[variant].actual_utilization for variant in runs
-        }
-        rows.append(
-            SparsityBenefitRow(
-                model=name,
-                speedup=speedup,
-                energy_saving=saving,
-                utilization=utilization,
-            )
-        )
-    return rows
-
-
-def format_table(rows: Sequence[SparsityBenefitRow]) -> str:
-    """Render Fig. 7 as aligned text (speedup / energy-saving per variant)."""
-    header = (
-        f"{'Model':<16}{'in x':>8}{'wgt x':>8}{'hyb x':>8}"
-        f"{'in sav':>9}{'wgt sav':>9}{'hyb sav':>9}"
-    )
-    lines = [header]
-    for row in rows:
-        lines.append(
-            f"{row.model:<16}"
-            f"{row.speedup['input']:>7.2f}{row.speedup['weight']:>8.2f}"
-            f"{row.speedup['hybrid']:>8.2f}"
-            f"{row.energy_saving['input']:>8.1%}{row.energy_saving['weight']:>8.1%}"
-            f"{row.energy_saving['hybrid']:>8.1%}"
-        )
-    return "\n".join(lines)
+    return Experiment(config=config, seed=seed).speedup_energy(models or None)

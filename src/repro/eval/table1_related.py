@@ -4,79 +4,37 @@ Table 1 of the paper is a qualitative feature matrix.  The prior-work rows
 are literature facts reproduced as static records; the "Ours" row is derived
 from the live configuration so the table stays truthful if the framework's
 feature flags change.
+
+This module is a thin backwards-compatible wrapper: the computation lives on
+:class:`repro.api.Experiment` (experiment id ``"table1"``) and the literature
+records in :data:`repro.api.results.PRIOR_WORK_ROWS`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
+from ..api.experiment import Experiment
+from ..api.formatting import format_related_work as format_table
+from ..api.results import PRIOR_WORK_ROWS, SparsitySupportRow
 from ..arch.config import DBPIMConfig
 
-__all__ = ["SparsitySupportRow", "related_work_table", "format_table"]
-
-
-@dataclass(frozen=True)
-class SparsitySupportRow:
-    """One column of Table 1 (transposed to a row record here)."""
-
-    design: str
-    sparsity_type: str  # "value" or "bit"
-    weight_or_input: str  # "W", "I" or "W+I"
-    digital: bool
-    unstructured: bool
-    ineffectual_mac_removed: str
-
-
-#: Literature rows of Table 1.
-PRIOR_WORK_ROWS = (
-    SparsitySupportRow("Yue et al. [12]", "value", "W", False, False, "Zero W+V"),
-    SparsitySupportRow("SDP [11]", "value", "W", True, False, "Zero W+V"),
-    SparsitySupportRow("Liu et al. [13]", "value", "W", True, True, "Zero W+V"),
-    SparsitySupportRow("Tu et al. [14]", "bit", "I", True, True, "Zero I+B"),
-    SparsitySupportRow("TT@CIM [15]", "bit", "W", True, True, "Zero W+B"),
-)
+__all__ = [
+    "SparsitySupportRow",
+    "PRIOR_WORK_ROWS",
+    "ours_row",
+    "related_work_table",
+    "format_table",
+]
 
 
 def ours_row(config: Optional[DBPIMConfig] = None) -> SparsitySupportRow:
     """Derive the "Ours" column from the live configuration."""
-    config = config or DBPIMConfig()
-    targets = []
-    removed = []
-    if config.weight_sparsity:
-        targets.append("W")
-        removed.append("Zero W+B")
-    if config.input_sparsity:
-        targets.append("I")
-        removed.append("Zero I+B")
-    return SparsitySupportRow(
-        design="DB-PIM (Ours)",
-        sparsity_type="bit" if config.weight_sparsity or config.input_sparsity else "none",
-        weight_or_input="+".join(targets) if targets else "-",
-        digital=True,
-        unstructured=True,
-        ineffectual_mac_removed=" and ".join(removed) if removed else "-",
-    )
+    return Experiment(config=config).related_work_ours()
 
 
 def related_work_table(
     config: Optional[DBPIMConfig] = None,
 ) -> List[SparsitySupportRow]:
     """The full Table 1: prior works plus the derived "Ours" row."""
-    return list(PRIOR_WORK_ROWS) + [ours_row(config)]
-
-
-def format_table(rows: Sequence[SparsitySupportRow]) -> str:
-    """Render Table 1 as aligned text."""
-    header = (
-        f"{'Design':<18}{'Type':>7}{'W/I':>6}{'D/A':>5}{'U/S':>5}"
-        f"  {'Ineffectual MAC removed'}"
-    )
-    lines = [header]
-    for row in rows:
-        lines.append(
-            f"{row.design:<18}{row.sparsity_type:>7}{row.weight_or_input:>6}"
-            f"{'D' if row.digital else 'A':>5}{'U' if row.unstructured else 'S':>5}"
-            f"  {row.ineffectual_mac_removed}"
-        )
-    return "\n".join(lines)
+    return Experiment(config=config).related_work()

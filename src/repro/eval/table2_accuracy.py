@@ -6,38 +6,28 @@ the same five topologies on the synthetic dataset (see DESIGN.md for the
 substitution), optionally runs a short FTA-aware QAT fine-tune, then
 compares the accuracy of the plain INT8 model against the FTA-approximated
 INT8 model produced by the identical quantization pipeline.
+
+This module is a thin backwards-compatible wrapper: the computation lives on
+:class:`repro.api.Experiment` (experiment id ``"table2"``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..api.experiment import Experiment
+from ..api.formatting import format_accuracy as format_table
+from ..api.results import PAPER_MODEL_ORDER, AccuracyRow
 from ..core.fta import FTAConfig
 from ..nn.data import SyntheticImageDataset
-from ..nn.models import build_model
-from ..nn.qat import apply_weight_override, quantize_model, restore_weights
-from ..nn.training import Trainer
 
-__all__ = ["AccuracyRow", "evaluate_model_accuracy", "accuracy_table", "format_table"]
-
-#: Paper model names in Table 2 order.
-PAPER_MODEL_ORDER = ("alexnet", "vgg19", "resnet18", "mobilenetv2", "efficientnetb0")
-
-
-@dataclass(frozen=True)
-class AccuracyRow:
-    """One row of Table 2."""
-
-    model: str
-    float_accuracy: float
-    int8_accuracy: float
-    fta_accuracy: float
-
-    @property
-    def accuracy_drop(self) -> float:
-        """Drop of the FTA model relative to the plain INT8 model."""
-        return self.int8_accuracy - self.fta_accuracy
+__all__ = [
+    "AccuracyRow",
+    "PAPER_MODEL_ORDER",
+    "evaluate_model_accuracy",
+    "accuracy_table",
+    "format_table",
+]
 
 
 def evaluate_model_accuracy(
@@ -58,30 +48,8 @@ def evaluate_model_accuracy(
         fta_config: FTA configuration shared by QAT and the final transform.
         seed: controls dataset generation and weight initialisation.
     """
-    dataset = dataset or SyntheticImageDataset.generate(
-        num_classes=8, samples_per_class=30, test_samples_per_class=10, seed=seed
-    )
-    model = build_model(name, num_classes=dataset.num_classes, seed=seed)
-    trainer = Trainer(model, dataset, batch_size=32, seed=seed)
-    trainer.train(epochs=epochs)
-    if qat_epochs > 0:
-        trainer.fine_tune_with_qat(
-            epochs=qat_epochs, apply_fta=True, fta_config=fta_config, learning_rate=0.01
-        )
-    float_accuracy = trainer.evaluate()
-
-    records = quantize_model(model, fta_config=fta_config)
-    apply_weight_override(records, use_fta=False)
-    int8_accuracy = trainer.evaluate()
-    restore_weights(records)
-    apply_weight_override(records, use_fta=True)
-    fta_accuracy = trainer.evaluate()
-    restore_weights(records)
-    return AccuracyRow(
-        model=name,
-        float_accuracy=float_accuracy,
-        int8_accuracy=int8_accuracy,
-        fta_accuracy=fta_accuracy,
+    return Experiment(fta_config=fta_config, seed=seed).evaluate_accuracy(
+        name, epochs=epochs, qat_epochs=qat_epochs, dataset=dataset
     )
 
 
@@ -92,26 +60,6 @@ def accuracy_table(
     seed: int = 0,
 ) -> List[AccuracyRow]:
     """Table 2 for a list of models (shared dataset across models)."""
-    dataset = SyntheticImageDataset.generate(
-        num_classes=8, samples_per_class=30, test_samples_per_class=10, seed=seed
-    )
-    return [
-        evaluate_model_accuracy(
-            name, dataset=dataset, epochs=epochs, qat_epochs=qat_epochs, seed=seed
-        )
-        for name in models
-    ]
-
-
-def format_table(rows: Sequence[AccuracyRow]) -> str:
-    """Render Table 2 as aligned text."""
-    header = (
-        f"{'Model':<16}{'W/I':>8}{'Ori. Accu.':>12}{'FTA Accu.':>12}{'Accu. Drop':>12}"
-    )
-    lines = [header]
-    for row in rows:
-        lines.append(
-            f"{row.model:<16}{'8b/8b':>8}{row.int8_accuracy:>11.2%}"
-            f"{row.fta_accuracy:>11.2%}{row.accuracy_drop:>11.2%}"
-        )
-    return "\n".join(lines)
+    if not models:
+        return []
+    return Experiment(seed=seed).accuracy(models, epochs=epochs, qat_epochs=qat_epochs)

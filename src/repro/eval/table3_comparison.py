@@ -5,79 +5,28 @@ the DB-PIM column is measured by running the cycle model and the area model
 on this repository's implementation.  The benchmark checks the *relative*
 claims (utilisation ~2-3x better, highest throughput per macro, highest
 energy efficiency per area), not the absolute literature values.
+
+This module is a thin backwards-compatible wrapper: the computation lives on
+:class:`repro.api.Experiment` (experiment id ``"table3"``) and the literature
+records in :data:`repro.api.results.PRIOR_WORK_COLUMNS`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from ..arch.area import AreaModel
+from ..api.experiment import Experiment
+from ..api.formatting import format_comparison as format_table
+from ..api.results import PRIOR_WORK_COLUMNS, ComparisonColumn
 from ..arch.config import DBPIMConfig
-from ..sim.cycle_model import CycleModel
-from ..sim.metrics import compute_metrics
-from ..workloads.models import get_workload, list_workloads
-from ..workloads.profiles import profile_model
 
-__all__ = ["ComparisonColumn", "PRIOR_WORK_COLUMNS", "ours_column", "comparison_table", "format_table"]
-
-
-@dataclass(frozen=True)
-class ComparisonColumn:
-    """One design (column) of Table 3."""
-
-    design: str
-    technology_nm: int
-    die_area_mm2: float
-    sram_size_kb: float
-    pim_size_kb: float
-    num_macros: int
-    actual_utilization: Dict[str, float]
-    peak_throughput_tops: float
-    peak_gops_per_macro: float
-    energy_efficiency_tops_w: float
-    efficiency_per_area: float
-
-
-#: Literature columns (numbers as reported in the paper's Table 3; the
-#: utilisation entries are the representative values the paper quotes).
-PRIOR_WORK_COLUMNS = (
-    ComparisonColumn(
-        design="Yue et al. [12]", technology_nm=65, die_area_mm2=12.0,
-        sram_size_kb=294, pim_size_kb=8, num_macros=4,
-        actual_utilization={"resnet18": 0.3204}, peak_throughput_tops=0.10,
-        peak_gops_per_macro=24.69, energy_efficiency_tops_w=2.37,
-        efficiency_per_area=2.97,
-    ),
-    ComparisonColumn(
-        design="SDP [11]", technology_nm=28, die_area_mm2=6.07,
-        sram_size_kb=384, pim_size_kb=128, num_macros=512,
-        actual_utilization={"resnet50": 0.4864}, peak_throughput_tops=26.21,
-        peak_gops_per_macro=51.19, energy_efficiency_tops_w=107.60,
-        efficiency_per_area=17.73,
-    ),
-    ComparisonColumn(
-        design="Liu et al. [13]", technology_nm=28, die_area_mm2=3.93,
-        sram_size_kb=96, pim_size_kb=144, num_macros=96,
-        actual_utilization={}, peak_throughput_tops=3.33,
-        peak_gops_per_macro=34.68, energy_efficiency_tops_w=25.22,
-        efficiency_per_area=6.42,
-    ),
-    ComparisonColumn(
-        design="Tu et al. [14]", technology_nm=28, die_area_mm2=14.36,
-        sram_size_kb=192, pim_size_kb=128, num_macros=128,
-        actual_utilization={}, peak_throughput_tops=3.55,
-        peak_gops_per_macro=27.73, energy_efficiency_tops_w=101.0,
-        efficiency_per_area=7.03,
-    ),
-    ComparisonColumn(
-        design="TT@CIM [15]", technology_nm=28, die_area_mm2=8.97,
-        sram_size_kb=114, pim_size_kb=128, num_macros=16,
-        actual_utilization={"resnet20": 0.50}, peak_throughput_tops=0.40,
-        peak_gops_per_macro=25.1, energy_efficiency_tops_w=13.75,
-        efficiency_per_area=1.53,
-    ),
-)
+__all__ = [
+    "ComparisonColumn",
+    "PRIOR_WORK_COLUMNS",
+    "ours_column",
+    "comparison_table",
+    "format_table",
+]
 
 
 def ours_column(
@@ -86,34 +35,7 @@ def ours_column(
     seed: int = 0,
 ) -> ComparisonColumn:
     """Measure the DB-PIM column of Table 3 from this implementation."""
-    config = config or DBPIMConfig()
-    cycle_model = CycleModel(config)
-    area = AreaModel().breakdown(config)
-    utilization: Dict[str, float] = {}
-    best_tops_w = 0.0
-    peak_tops = 0.0
-    peak_per_macro = 0.0
-    for name in models or list_workloads():
-        profile = profile_model(get_workload(name), seed=seed)
-        performance = cycle_model.run_model(profile, "hybrid")
-        metrics = compute_metrics(performance, config)
-        utilization[name] = metrics.actual_utilization
-        best_tops_w = max(best_tops_w, metrics.tops_per_watt)
-        peak_tops = metrics.peak_tops
-        peak_per_macro = metrics.peak_gops_per_macro
-    return ComparisonColumn(
-        design="DB-PIM (this repo)",
-        technology_nm=config.technology_nm,
-        die_area_mm2=area.total_mm2,
-        sram_size_kb=config.buffers.total_sram_bytes / 1024,
-        pim_size_kb=config.pim_size_kilobytes,
-        num_macros=config.num_macros,
-        actual_utilization=utilization,
-        peak_throughput_tops=peak_tops,
-        peak_gops_per_macro=peak_per_macro,
-        energy_efficiency_tops_w=best_tops_w,
-        efficiency_per_area=best_tops_w / area.total_mm2,
-    )
+    return Experiment(config=config, seed=seed).ours_column(models or None)
 
 
 def comparison_table(
@@ -122,29 +44,4 @@ def comparison_table(
     seed: int = 0,
 ) -> List[ComparisonColumn]:
     """Table 3: prior-work literature columns plus the measured DB-PIM column."""
-    return list(PRIOR_WORK_COLUMNS) + [ours_column(models, config, seed)]
-
-
-def format_table(columns: Sequence[ComparisonColumn]) -> str:
-    """Render Table 3 as aligned text (one design per line)."""
-    header = (
-        f"{'Design':<20}{'nm':>4}{'mm2':>7}{'SRAM KB':>9}{'PIM KB':>8}"
-        f"{'macros':>8}{'GOPS/macro':>12}{'TOPS/W':>9}{'eff/mm2':>9}{'  U_act'}"
-    )
-    lines = [header]
-    for column in columns:
-        if column.actual_utilization:
-            utilization = ", ".join(
-                f"{name}={value:.1%}"
-                for name, value in column.actual_utilization.items()
-            )
-        else:
-            utilization = "n/a"
-        lines.append(
-            f"{column.design:<20}{column.technology_nm:>4}{column.die_area_mm2:>7.2f}"
-            f"{column.sram_size_kb:>9.0f}{column.pim_size_kb:>8.0f}"
-            f"{column.num_macros:>8}{column.peak_gops_per_macro:>12.1f}"
-            f"{column.energy_efficiency_tops_w:>9.2f}{column.efficiency_per_area:>9.2f}"
-            f"  {utilization}"
-        )
-    return "\n".join(lines)
+    return Experiment(config=config, seed=seed).comparison(models or None)

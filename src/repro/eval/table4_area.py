@@ -2,44 +2,23 @@
 
 Thin driver around :class:`repro.arch.area.AreaModel` that produces the
 rows of Table 4 (component, mm^2, percentage of total).
+
+This module is a thin backwards-compatible wrapper: the computation lives on
+:class:`repro.api.Experiment` (experiment id ``"table4"``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from ..arch.area import AreaModel
+from ..api.experiment import Experiment
+from ..api.formatting import format_area as format_table
+from ..api.results import AreaRow
 from ..arch.config import DBPIMConfig
 
 __all__ = ["AreaRow", "area_table", "format_table"]
 
 
-@dataclass(frozen=True)
-class AreaRow:
-    """One row of Table 4."""
-
-    module: str
-    area_mm2: float
-    breakdown: float
-
-
 def area_table(config: Optional[DBPIMConfig] = None) -> List[AreaRow]:
     """Compute the Table 4 rows (plus the total as the last row)."""
-    config = config or DBPIMConfig()
-    breakdown = AreaModel().breakdown(config)
-    fractions = breakdown.fractions()
-    rows = [
-        AreaRow(module=name, area_mm2=value, breakdown=fractions[name])
-        for name, value in breakdown.as_dict().items()
-    ]
-    rows.append(AreaRow(module="Total", area_mm2=breakdown.total_mm2, breakdown=1.0))
-    return rows
-
-
-def format_table(rows: Sequence[AreaRow]) -> str:
-    """Render Table 4 as aligned text."""
-    lines = [f"{'Modules':<32}{'Area (mm2)':>12}{'Breakdown':>12}"]
-    for row in rows:
-        lines.append(f"{row.module:<32}{row.area_mm2:>12.5f}{row.breakdown:>11.2%}")
-    return "\n".join(lines)
+    return Experiment(config=config).area()

@@ -1,0 +1,84 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.api.cli import main
+from repro.api.results import ExperimentResult, SweepResult
+
+
+class TestList:
+    def test_plain_listing(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table4" in out
+        assert "alexnet" in out
+        assert "paper-28nm" in out
+
+    def test_json_listing(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [spec["id"] for spec in payload["experiments"]][:3] == [
+            "fig2a", "fig2b", "fig7",
+        ]
+        assert "dense-baseline" in payload["configs"]
+
+
+class TestRun:
+    def test_run_table4_prints_table_and_json(self, capsys, tmp_path):
+        out_path = tmp_path / "table4.json"
+        assert main(["run", "table4", "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out and "Total" in out
+        result = ExperimentResult.load(out_path)
+        assert result.experiment == "table4"
+        assert result.rows[-1].module == "Total"
+
+    def test_run_fig7_with_models_json_stdout(self, capsys):
+        assert main(["run", "fig7", "--models", "alexnet", "--json", "-", "--quiet"]) == 0
+        result = ExperimentResult.from_json(capsys.readouterr().out)
+        assert result.experiment == "fig7"
+        assert [row.model for row in result.rows] == ["alexnet"]
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_model_exits_2(self, capsys):
+        assert main(["run", "fig7", "--models", "no-such-net"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_models_flag_rejected_for_model_free_experiment(self, capsys):
+        assert main(["run", "table4", "--models", "alexnet"]) == 2
+        assert "does not take --models" in capsys.readouterr().err
+
+    def test_epochs_flag_rejected_outside_table2(self, capsys):
+        assert main(["run", "fig7", "--epochs", "3"]) == 2
+        assert "does not take --epochs" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_writes_json_and_uses_cache(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        out_path = tmp_path / "sweep.json"
+        argv = [
+            "sweep",
+            "--experiments", "table1", "table4",
+            "--cache-dir", str(cache_dir),
+            "--json", str(out_path),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        sweep = SweepResult.load(out_path)
+        assert sweep.cache_misses == 2 and sweep.cache_hits == 0
+        assert main(argv) == 0
+        warm = SweepResult.load(out_path)
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert warm.results == sweep.results
+
+    def test_sweep_prints_sections(self, capsys):
+        assert main(["sweep", "--experiments", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "--- table4" in out
+        assert "1 result(s)" in out

@@ -1,0 +1,99 @@
+"""Tests for the config registry, presets and builder helpers."""
+
+import dataclasses
+
+import pytest
+
+from repro.api.configs import (
+    DEFAULT_CONFIG,
+    build_dbpim_config,
+    build_fta_config,
+    config_digest,
+    config_name,
+    config_to_dict,
+    get_config,
+    list_configs,
+    register_config,
+)
+from repro.arch.config import DBPIMConfig
+
+
+class TestRegistry:
+    def test_default_preset_is_paper_config(self):
+        assert get_config() == DBPIMConfig()
+        assert get_config(None) == get_config(DEFAULT_CONFIG)
+
+    def test_builtin_presets_registered(self):
+        names = list_configs()
+        for expected in (
+            "paper-28nm",
+            "dense-baseline",
+            "weight-sparsity-only",
+            "input-sparsity-only",
+        ):
+            assert expected in names
+
+    def test_instance_passthrough(self):
+        config = DBPIMConfig(num_macros=2)
+        assert get_config(config) is config
+
+    def test_unknown_preset_raises_with_available_names(self):
+        with pytest.raises(KeyError, match="paper-28nm"):
+            get_config("no-such-preset")
+
+    def test_register_rejects_duplicates_and_non_configs(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_config("paper-28nm", DBPIMConfig())
+        with pytest.raises(TypeError):
+            register_config("bogus", object())
+
+    def test_preset_immutability(self):
+        preset = get_config("paper-28nm")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            preset.num_macros = 8
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            preset.macro.rows = 128
+
+    def test_dense_baseline_preset_disables_sparsity(self):
+        dense = get_config("dense-baseline")
+        assert not dense.weight_sparsity and not dense.input_sparsity
+
+    def test_config_name_roundtrip_and_custom_tag(self):
+        assert config_name("dense-baseline") == "dense-baseline"
+        # An equal instance resolves back to the preset name.
+        assert config_name(DBPIMConfig()) == "paper-28nm"
+        custom = DBPIMConfig(num_macros=3)
+        assert config_name(custom).startswith("custom-")
+
+
+class TestDigest:
+    def test_digest_is_stable_and_content_sensitive(self):
+        assert config_digest() == config_digest(DBPIMConfig())
+        assert config_digest(DBPIMConfig(num_macros=8)) != config_digest()
+        fta = build_fta_config(max_threshold=1)
+        assert config_digest(fta_config=fta) != config_digest()
+
+    def test_dict_form_is_nested_and_plain(self):
+        payload = config_to_dict()
+        assert payload["num_macros"] == 4
+        assert payload["macro"]["rows"] == 64
+        assert payload["buffers"]["feature_buffer"] == 128 * 1024
+
+
+class TestBuilders:
+    def test_build_dbpim_config_flat_knobs(self):
+        config = build_dbpim_config(num_macros=8, input_group=32, frequency_mhz=400.0)
+        assert config.num_macros == 8
+        assert config.macro.input_group == 32
+        assert config.clock.frequency_mhz == 400.0
+
+    def test_build_dbpim_config_validates_geometry(self):
+        with pytest.raises(ValueError):
+            build_dbpim_config(columns=10, weight_bits=8)
+        with pytest.raises(ValueError):
+            build_dbpim_config(num_macros=0)
+
+    def test_build_fta_config_validates(self):
+        assert build_fta_config(max_threshold=1).max_threshold == 1
+        with pytest.raises(ValueError):
+            build_fta_config(max_threshold=-1)

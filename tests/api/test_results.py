@@ -1,0 +1,112 @@
+"""Tests for the typed result schema and its JSON round-trips."""
+
+import pytest
+
+from repro.api.results import (
+    SCHEMA_VERSION,
+    AccuracyRow,
+    AreaRow,
+    ComparisonColumn,
+    ExperimentResult,
+    InputSparsityRow,
+    SparsityBenefitRow,
+    SweepResult,
+    row_from_dict,
+    row_to_dict,
+)
+
+
+def _fig7_result() -> ExperimentResult:
+    row = SparsityBenefitRow(
+        model="alexnet",
+        speedup={"input": 1.4, "weight": 6.7, "hybrid": 9.5},
+        energy_saving={"input": 0.27, "weight": 0.77, "hybrid": 0.81},
+        utilization={"base": 0.3, "input": 0.3, "weight": 0.8, "hybrid": 0.8},
+    )
+    return ExperimentResult(
+        experiment="fig7",
+        rows=(row,),
+        params={"models": ("alexnet",)},
+        seed=7,
+        config="paper-28nm",
+    )
+
+
+class TestRowConversion:
+    def test_int_keyed_mapping_survives_json(self):
+        row = InputSparsityRow(model="vgg19", zero_column_ratio={1: 0.9, 8: 0.5, 16: 0.3})
+        payload = row_to_dict(row)
+        assert set(payload["zero_column_ratio"]) == {"1", "8", "16"}
+        assert row_from_dict("fig2b", payload) == row
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError, match="fig2a"):
+            row_from_dict("fig99", {})
+
+    def test_accuracy_drop_derived_property(self):
+        row = AccuracyRow("alexnet", 0.9, 0.85, 0.84)
+        assert row.accuracy_drop == pytest.approx(0.01)
+        restored = row_from_dict("table2", row_to_dict(row))
+        assert restored.accuracy_drop == pytest.approx(0.01)
+
+
+class TestExperimentResult:
+    def test_json_round_trip_is_lossless(self):
+        result = _fig7_result()
+        assert ExperimentResult.from_json(result.to_json()) == result
+
+    def test_round_trip_all_row_shapes(self):
+        cases = {
+            "table4": (AreaRow("Total", 1.15453, 1.0),),
+            "table3": (
+                ComparisonColumn(
+                    design="X", technology_nm=28, die_area_mm2=1.0,
+                    sram_size_kb=280.0, pim_size_kb=8.0, num_macros=4,
+                    actual_utilization={"resnet18": 0.8},
+                    peak_throughput_tops=1.0, peak_gops_per_macro=250.0,
+                    energy_efficiency_tops_w=20.0, efficiency_per_area=17.0,
+                ),
+            ),
+        }
+        for experiment, rows in cases.items():
+            result = ExperimentResult(experiment=experiment, rows=rows)
+            assert ExperimentResult.from_json(result.to_json()) == result
+
+    def test_params_are_canonicalised_to_json_types(self):
+        result = _fig7_result()
+        # Tuples become lists at construction time, so equality with the
+        # deserialised form holds structurally.
+        assert result.params == {"models": ["alexnet"]}
+
+    def test_schema_version_mismatch_rejected(self):
+        payload = _fig7_result().to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            ExperimentResult.from_dict(payload)
+
+    def test_results_are_hashable_and_equality_consistent(self):
+        first, second = _fig7_result(), _fig7_result()
+        assert first == second
+        assert hash(first) == hash(second)
+        assert len({first, second}) == 1
+        assert hash(SweepResult(results=(first,))) == hash(SweepResult(results=(second,)))
+
+    def test_save_load(self, tmp_path):
+        result = _fig7_result()
+        path = result.save(tmp_path / "fig7.json")
+        assert ExperimentResult.load(path) == result
+
+
+class TestSweepResult:
+    def test_json_round_trip_with_cache_stats(self):
+        sweep = SweepResult(
+            results=(_fig7_result(),), cache_hits=3, cache_misses=1
+        )
+        restored = SweepResult.from_json(sweep.to_json())
+        assert restored == sweep
+        assert restored.cache_hits == 3 and restored.cache_misses == 1
+
+    def test_filter_by_experiment(self):
+        sweep = SweepResult(results=(_fig7_result(),))
+        assert len(sweep.filter("fig7")) == 1
+        assert sweep.filter("table4") == []
