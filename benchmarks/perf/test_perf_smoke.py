@@ -1,0 +1,47 @@
+"""Smoke test of the perf harness: smallest preset, one model, 1 repeat.
+
+Keeps the micro-benchmark runnable end-to-end inside the tier-1 suite (and
+the CI benchmark job) without asserting absolute timings -- CI machines are
+too noisy for that; the committed ``BENCH_cycle_model.json`` snapshot is
+where the real perf trajectory lives.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_cycle_model", Path(__file__).parent / "bench_cycle_model.py"
+)
+bench_cycle_model = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_cycle_model)
+
+
+def test_bench_emits_report(tmp_path):
+    output = tmp_path / "BENCH_cycle_model.json"
+    code = bench_cycle_model.main(
+        [
+            "--presets", "paper-28nm",
+            "--models", "alexnet",
+            "--repeats", "1",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert report["benchmark"] == "cycle_model"
+    assert report["experiment"] == "fig7"
+    assert report["models"] == ["alexnet"]
+    entry = report["presets"]["paper-28nm"]
+    assert entry["scalar_s"] > 0 and entry["vectorized_s"] > 0
+    assert entry["speedup"] == entry["scalar_s"] / entry["vectorized_s"]
+
+
+def test_bench_rejects_bad_repeats(tmp_path, capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        bench_cycle_model.main(["--repeats", "0"])
+    capsys.readouterr()

@@ -1,0 +1,88 @@
+"""Fail if any public API of ``repro.api`` / ``repro.sim`` lacks a docstring.
+
+Run as part of the ``docs`` CI job (and locally before sending a PR):
+
+    PYTHONPATH=src python scripts/check_docstrings.py
+
+Walks every public module, class, function, method and property of the two
+documented packages and reports each member whose docstring is missing or
+empty.  Exits non-zero when anything is undocumented, so the generated API
+reference can never silently grow blank entries.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from typing import Iterator, List, Tuple
+
+PACKAGES = ("repro.api", "repro.sim")
+
+
+def _iter_modules(package_name: str) -> Iterator[object]:
+    package = importlib.import_module(package_name)
+    yield package
+    for info in pkgutil.iter_modules(package.__path__, prefix=f"{package_name}."):
+        if info.name.rsplit(".", 1)[-1].startswith("_"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+def _public_members(owner: object) -> Iterator[Tuple[str, object]]:
+    for name, member in vars(owner).items():
+        if not name.startswith("_"):
+            yield name, member
+
+
+def _missing_in_class(cls: type, prefix: str) -> Iterator[str]:
+    for name, member in _public_members(cls):
+        qualified = f"{prefix}.{name}"
+        if isinstance(member, property):
+            if not (member.fget and inspect.getdoc(member.fget)):
+                yield qualified
+        elif inspect.isfunction(member) or isinstance(
+            member, (classmethod, staticmethod)
+        ):
+            func = member.__func__ if not inspect.isfunction(member) else member
+            if not inspect.getdoc(func):
+                yield qualified
+
+
+def find_missing() -> List[str]:
+    """Qualified names of all undocumented public members."""
+    missing: List[str] = []
+    for package_name in PACKAGES:
+        for module in _iter_modules(package_name):
+            if not inspect.getdoc(module):
+                missing.append(module.__name__)
+            for name, member in _public_members(module):
+                if getattr(member, "__module__", None) != module.__name__:
+                    continue  # re-exports are documented at their origin
+                qualified = f"{module.__name__}.{name}"
+                if inspect.isclass(member):
+                    if not inspect.getdoc(member):
+                        missing.append(qualified)
+                    missing.extend(_missing_in_class(member, qualified))
+                elif inspect.isfunction(member):
+                    if not inspect.getdoc(member):
+                        missing.append(qualified)
+    return missing
+
+
+def main() -> int:
+    """Entry point; prints offenders and returns the exit code."""
+    missing = find_missing()
+    if missing:
+        print("undocumented public members:")
+        for name in sorted(set(missing)):
+            print(f"  {name}")
+        return 1
+    count = sum(1 for pkg in PACKAGES for _ in _iter_modules(pkg))
+    print(f"docstring check OK ({count} modules across {', '.join(PACKAGES)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,7 +40,9 @@ from .configs import (
     register_config,
 )
 from .experiment import (
+    DEFAULT_ENGINE,
     DEFAULT_SEED,
+    ENGINES,
     EXPERIMENTS,
     Experiment,
     ExperimentSpec,
@@ -75,6 +77,8 @@ __all__ = [
     "build_fta_config",
     # experiment façade
     "DEFAULT_SEED",
+    "ENGINES",
+    "DEFAULT_ENGINE",
     "EXPERIMENTS",
     "ExperimentSpec",
     "Experiment",

@@ -19,6 +19,7 @@ import json
 import sys
 from typing import Any, Dict, Optional, Sequence
 
+from ..sim.cycle_model import DEFAULT_ENGINE, ENGINES
 from .configs import list_configs
 from .experiment import Experiment, get_experiment_spec, list_experiments
 from .formatting import format_result, format_sweep
@@ -44,6 +45,7 @@ def _validate(call, *args, **kwargs):
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser (``list`` / ``run`` / ``sweep``)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -75,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="config preset name (default: paper-28nm)",
     )
     run_parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    run_parser.add_argument(
+        "--engine", choices=ENGINES, default=DEFAULT_ENGINE,
+        help="cycle-model engine (vectorized NumPy batch kernel, or the "
+        "scalar per-layer reference; identical numbers)",
+    )
     run_parser.add_argument(
         "--epochs", type=int, default=None,
         help="pre-training epochs (table2 only)",
@@ -109,6 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--seeds", nargs="+", type=int, default=[0], metavar="SEED",
         help="RNG seeds",
+    )
+    sweep_parser.add_argument(
+        "--engine", choices=ENGINES, default=DEFAULT_ENGINE,
+        help="cycle-model engine for every grid point (part of the cache key)",
     )
     sweep_parser.add_argument(
         "--max-workers", type=int, default=None,
@@ -180,7 +191,9 @@ def _command_run(args: argparse.Namespace) -> int:
                     f"experiment {spec.id!r} does not take --{name.replace('_', '-')}"
                 )
             params[name] = value
-    session = _validate(Experiment, config=args.config, seed=args.seed)
+    session = _validate(
+        Experiment, config=args.config, seed=args.seed, engine=args.engine
+    )
     if "models" in params:
         params["models"] = _validate(session._resolve_models, params["models"])
     result = session.run(spec.id, **params)
@@ -207,6 +220,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         seeds=args.seeds,
         max_workers=args.max_workers,
         cache_dir=args.cache_dir,
+        engine=args.engine,
     )
     if not args.quiet:
         print(format_sweep(sweep))

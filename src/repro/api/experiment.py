@@ -41,6 +41,8 @@ from ..nn.qat import apply_weight_override, quantize_model, restore_weights
 from ..nn.training import Trainer
 from ..sim.cycle_model import (
     CycleModel,
+    DEFAULT_ENGINE,
+    ENGINES,
     LayerPerformance,
     ModelPerformance,
     SPARSITY_VARIANTS,
@@ -77,6 +79,8 @@ __all__ = [
     "list_experiments",
     "Experiment",
     "Session",
+    "ENGINES",
+    "DEFAULT_ENGINE",
 ]
 
 #: The single default seed of the façade (threaded into workload profiling,
@@ -117,6 +121,7 @@ class ExperimentSpec:
 
     @property
     def default_params(self) -> Dict[str, Any]:
+        """The canonical default parameters as a fresh mutable dict."""
         return dict(self.defaults)
 
 
@@ -206,6 +211,9 @@ class Experiment:
         seed: the single RNG seed every stochastic stage derives from.
         input_group: IPU zero-detection group size used when profiling
             input activations (defaults to the configuration's group size).
+        engine: cycle-model engine -- ``"vectorized"`` (default, the NumPy
+            batch kernel) or ``"scalar"`` (the per-layer reference); both
+            produce bitwise-identical results.
     """
 
     def __init__(
@@ -214,6 +222,7 @@ class Experiment:
         fta_config: Optional[FTAConfig] = None,
         seed: int = DEFAULT_SEED,
         input_group: Optional[int] = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         self.config = get_config(config)
         self.config_name = config_name(self.config)
@@ -224,14 +233,16 @@ class Experiment:
         if int(input_group) <= 0:
             raise ValueError("input_group must be positive")
         self.input_group = int(input_group)
-        self.cycle_model = CycleModel(self.config)
+        self.cycle_model = CycleModel(self.config, engine=engine)
+        self.engine = self.cycle_model.engine
         self.area_model = AreaModel()
         self._profiles: Dict[str, ModelSparsityProfile] = {}
         self._dataset: Optional[SyntheticImageDataset] = None
 
     def __repr__(self) -> str:
         return (
-            f"{type(self).__name__}(config={self.config_name!r}, seed={self.seed})"
+            f"{type(self).__name__}(config={self.config_name!r}, "
+            f"seed={self.seed}, engine={self.engine!r})"
         )
 
     def with_config(self, config: ConfigLike) -> "Experiment":
@@ -250,6 +261,7 @@ class Experiment:
             config=config,
             fta_config=self.fta_config,
             seed=self.seed,
+            engine=self.engine,
         )
         if clone.input_group == self.input_group:
             clone._profiles = self._profiles  # shared mutable cache
@@ -335,8 +347,55 @@ class Experiment:
         return self.cycle_model.run_model(self.profile(model), variant)
 
     def run_variants(self, model: str) -> Dict[str, ModelPerformance]:
-        """All four Fig. 7 variants (base/input/weight/hybrid) of one model."""
+        """All four Fig. 7 variants (base/input/weight/hybrid) of one model.
+
+        With the vectorized engine the four variants are evaluated as one
+        batched array pass.
+        """
         return self.cycle_model.run_all_variants(self.profile(model))
+
+    def run_batch(
+        self,
+        models: Optional[Sequence[str]] = None,
+        variants: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Dict[str, ModelPerformance]]:
+        """Evaluate a (models x variants) grid in one vectorized pass.
+
+        The batch-execution front door of the façade: every (model,
+        variant) cell of the grid becomes one job of a single
+        :meth:`repro.sim.cycle_model.CycleModel.run_batch` call, so an
+        entire design-space axis is simulated as one NumPy array pass
+        instead of nested per-model / per-variant loops.  (With
+        ``engine="scalar"`` the same grid runs through the reference
+        per-layer loop.)
+
+        Args:
+            models: workload names (``None`` for all five paper models).
+            variants: Fig. 7 variant names, in output order (``None`` for
+                all of :data:`~repro.sim.cycle_model.SPARSITY_VARIANTS`).
+
+        Returns:
+            Nested mapping ``{model: {variant: ModelPerformance}}`` in the
+            requested model/variant order.
+        """
+        names = self._resolve_models(models)
+        if variants is None:
+            variant_list: Tuple[str, ...] = SPARSITY_VARIANTS
+        else:
+            variant_list = tuple(str(variant) for variant in variants)
+            for variant in variant_list:
+                self.cycle_model.variant_config(variant)  # validates eagerly
+        jobs = [
+            (self.profile(name), variant)
+            for name in names
+            for variant in variant_list
+        ]
+        performances = self.cycle_model.run_batch(jobs)
+        grid: Dict[str, Dict[str, ModelPerformance]] = {}
+        cursor = iter(performances)
+        for name in names:
+            grid[name] = {variant: next(cursor) for variant in variant_list}
+        return grid
 
     def metrics(self, model: str, variant: str = "hybrid") -> SystemMetrics:
         """Table 3 system metrics of one workload under one variant."""
@@ -431,10 +490,16 @@ class Experiment:
     def speedup_energy(
         self, models: Optional[Sequence[str]] = None
     ) -> List[SparsityBenefitRow]:
-        """Fig. 7: per-model speedup and energy saving over the baseline."""
+        """Fig. 7: per-model speedup and energy saving over the baseline.
+
+        All requested models and all four variants are evaluated in a
+        single batched cycle-model pass (see :meth:`run_batch`).
+        """
+        names = self._resolve_models(models)
+        batch = self.run_batch(models=names)
         rows = []
-        for name in self._resolve_models(models):
-            runs = self.run_variants(name)
+        for name in names:
+            runs = batch[name]
             base = runs["base"]
             speedup = {
                 variant: self.cycle_model.speedup(base, runs[variant])

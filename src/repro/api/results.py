@@ -311,6 +311,11 @@ class ExperimentResult(_JsonEnvelope):
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a typed result from its plain-dict form.
+
+        Raises:
+            ValueError: if the payload's schema version is unsupported.
+        """
         version = payload.get("schema_version", SCHEMA_VERSION)
         if version != SCHEMA_VERSION:
             raise ValueError(
@@ -353,6 +358,7 @@ class SweepResult(_JsonEnvelope):
         return [result for result in self.results if result.experiment == experiment]
 
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-safe, stable key order)."""
         return {
             "schema_version": self.schema_version,
             "cache_hits": self.cache_hits,
@@ -362,6 +368,7 @@ class SweepResult(_JsonEnvelope):
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SweepResult":
+        """Rebuild a sweep result (and its per-point results) from a dict."""
         return cls(
             results=tuple(
                 ExperimentResult.from_dict(result) for result in payload["results"]

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..sim.cycle_model import DEFAULT_ENGINE, ENGINES
 from .configs import config_digest, get_config
 from .experiment import Experiment, get_experiment_spec
 from .results import SCHEMA_VERSION, ExperimentResult, SweepResult, _jsonify
@@ -55,25 +56,41 @@ DEFAULT_SWEEP_EXPERIMENTS = ("fig2a", "fig2b", "fig7", "table1", "table3", "tabl
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One independent cell of a sweep grid."""
+    """One independent cell of a sweep grid.
+
+    Attributes:
+        experiment: experiment id (``"fig7"``, ``"table4"``, ...).
+        config: registered hardware preset name.
+        seed: RNG seed of the point.
+        params: extra experiment parameters (canonicalised to JSON types).
+        engine: cycle-model engine evaluating the point (``"vectorized"``
+            or ``"scalar"``).
+    """
 
     experiment: str
     config: str = "paper-28nm"
     seed: int = 0
     params: Dict[str, Any] = field(default_factory=dict)
+    engine: str = DEFAULT_ENGINE
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", _jsonify(dict(self.params)))
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
 
     def cache_key(self) -> str:
         """Content hash identifying this point's result in the cache.
 
-        Covers the experiment id, canonical parameters, seed, the full
-        configuration contents (not just the preset name), the result schema
-        version and the package version -- so renaming a preset is harmless
-        while changing its contents, or upgrading to a release whose
-        simulator produces different numbers, invalidates the cached
-        entries.
+        Covers the experiment id, canonical parameters, seed, the engine,
+        the full configuration contents (not just the preset name), the
+        result schema version and the package version -- so renaming a
+        preset is harmless while changing its contents, switching engines,
+        or upgrading to a release whose simulator produces different
+        numbers, invalidates the cached entries.  (The engines are pinned
+        numerically identical, but keying them separately keeps the cache
+        trustworthy even while one of them is being modified.)
         """
         from .. import __version__
 
@@ -83,6 +100,7 @@ class SweepPoint:
             "experiment": self.experiment,
             "params": self.params,
             "seed": self.seed,
+            "engine": self.engine,
             "config_digest": config_digest(get_config(self.config)),
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -95,6 +113,7 @@ def build_grid(
     configs: Sequence[str] = ("paper-28nm",),
     seeds: Sequence[int] = (0,),
     params_by_experiment: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> List[SweepPoint]:
     """Expand a sweep request into independent grid points.
 
@@ -109,9 +128,13 @@ def build_grid(
         seeds: RNG seeds.
         params_by_experiment: extra per-experiment parameters, e.g.
             ``{"table2": {"epochs": 4}}``.
+        engine: cycle-model engine evaluating every point (part of each
+            point's cache key).
     """
     ids = tuple(experiments) if experiments is not None else DEFAULT_SWEEP_EXPERIMENTS
     extra = dict(params_by_experiment or {})
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     if models is not None:
         if not models:
             raise ValueError(
@@ -136,6 +159,7 @@ def build_grid(
                                 config=config,
                                 seed=int(seed),
                                 params={**overrides, "models": [model]},
+                                engine=engine,
                             )
                         )
                 elif spec.takes_models:
@@ -148,6 +172,7 @@ def build_grid(
                             config=config,
                             seed=int(seed),
                             params={**overrides, "models": list(model_list)},
+                            engine=engine,
                         )
                     )
                 else:
@@ -157,6 +182,7 @@ def build_grid(
                             config=config,
                             seed=int(seed),
                             params=overrides,
+                            engine=engine,
                         )
                     )
     return points
@@ -193,7 +219,9 @@ def run_point(
                 # A truncated/corrupted entry must not brick the sweep:
                 # treat it as a miss and overwrite it below.
                 pass
-    session = Experiment(config=point.config, seed=point.seed)
+    session = Experiment(
+        config=point.config, seed=point.seed, engine=point.engine
+    )
     result = session.run(point.experiment, **point.params)
     if cache_path is not None:
         cache_path.parent.mkdir(parents=True, exist_ok=True)
@@ -209,6 +237,7 @@ def run_sweep(
     max_workers: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     params_by_experiment: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> SweepResult:
     """Run a grid of experiment points in parallel, with result caching.
 
@@ -222,6 +251,8 @@ def run_sweep(
         cache_dir: directory for the JSON result cache (``None`` disables
             caching).
         params_by_experiment: extra per-experiment parameters.
+        engine: cycle-model engine evaluating every point (``"vectorized"``
+            by default; part of each point's cache key).
 
     Returns:
         A :class:`SweepResult` with the per-point results in grid order and
@@ -233,6 +264,7 @@ def run_sweep(
         configs=configs,
         seeds=seeds,
         params_by_experiment=params_by_experiment,
+        engine=engine,
     )
     if max_workers is None:
         max_workers = max(1, min(len(grid), os.cpu_count() or 1))

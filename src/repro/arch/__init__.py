@@ -7,7 +7,7 @@ core, plus analytical energy and area models calibrated to the paper's
 """
 
 from .accelerator import DBPIMAccelerator, LayerExecutionResult
-from .adder_tree import CSDAdderTree, PostProcessingUnit
+from .adder_tree import CSDAdderTree, PostProcessingBank, PostProcessingUnit
 from .area import AreaBreakdown, AreaLibrary, AreaModel
 from .buffers import Buffer, BufferSet
 from .config import BufferConfig, ClockConfig, DBPIMConfig, MacroConfig
@@ -22,6 +22,7 @@ __all__ = [
     "LayerExecutionResult",
     "CSDAdderTree",
     "PostProcessingUnit",
+    "PostProcessingBank",
     "AreaBreakdown",
     "AreaLibrary",
     "AreaModel",

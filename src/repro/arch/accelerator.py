@@ -115,6 +115,13 @@ class DBPIMAccelerator:
         tiles = 0
         utilization_sum = 0.0
 
+        # Vectorised tile accounting: the (filter x input) tile grid and its
+        # per-tile buffer traffic are pure shape arithmetic, so they are
+        # recorded in one batched pass before the functional execution loop.
+        filter_counts = self._tile_counts(weights.shape[0], filters_per_tile)
+        input_counts = self._tile_counts(inputs.size, inputs_per_tile)
+        self._account_buffer_traffic_batch(filter_counts, input_counts, sparse)
+
         for filter_start in range(0, weights.shape[0], filters_per_tile):
             filter_stop = min(filter_start + filters_per_tile, weights.shape[0])
             for input_start in range(0, inputs.size, inputs_per_tile):
@@ -133,7 +140,6 @@ class DBPIMAccelerator:
                 total_stats.merge(stats)
                 utilization_sum += macro.storage_utilization
                 tiles += 1
-                self._account_buffer_traffic(tile_weights, tile_inputs, sparse)
                 total_energy.merge(self._tile_energy(stats, tile_weights, sparse))
 
         result = LayerExecutionResult(
@@ -201,20 +207,40 @@ class DBPIMAccelerator:
     # ------------------------------------------------------------------
     # Accounting helpers
     # ------------------------------------------------------------------
-    def _account_buffer_traffic(
-        self, tile_weights: np.ndarray, tile_inputs: np.ndarray, sparse: bool
+    @staticmethod
+    def _tile_counts(extent: int, tile: int) -> np.ndarray:
+        """Per-tile element counts of one tiled dimension (last tile short)."""
+        starts = np.arange(0, extent, tile, dtype=np.int64)
+        return np.minimum(tile, extent - starts)
+
+    def _account_buffer_traffic_batch(
+        self,
+        filter_counts: np.ndarray,
+        input_counts: np.ndarray,
+        sparse: bool,
     ) -> None:
-        """Record buffer reads for one tile."""
-        self.buffers.feature.read(tile_inputs.size)
+        """Record the buffer traffic of a whole (filter x input) tile grid.
+
+        One vectorised pass over the per-tile filter/input element counts,
+        equivalent to the historical per-tile accounting calls: every tile
+        reads its inputs from the feature buffer and its weights (plus
+        sign/index metadata when weight sparsity is enabled) from the weight
+        path, then writes its INT32 partial sums to the output RF.
+        """
+        tile_weight_sizes = np.multiply.outer(filter_counts, input_counts).ravel()
+        num_filter_tiles = filter_counts.size
+        self.buffers.feature.read_batch(np.tile(input_counts, num_filter_tiles))
         if sparse:
             # Values are packed as dyadic blocks (at most 2 per weight in the
             # evaluated configuration) plus sign+index metadata.
-            self.buffers.weight.read(tile_weights.size)
-            self.buffers.meta.read(tile_weights.size)
-            self.buffers.meta_rf.read(tile_weights.size)
+            self.buffers.weight.read_batch(tile_weight_sizes)
+            self.buffers.meta.read_batch(tile_weight_sizes)
+            self.buffers.meta_rf.read_batch(tile_weight_sizes)
         else:
-            self.buffers.weight.read(tile_weights.size * 1)
-        self.buffers.output_rf.write(tile_weights.shape[0] * 4)
+            self.buffers.weight.read_batch(tile_weight_sizes)
+        self.buffers.output_rf.write_batch(
+            np.repeat(filter_counts * 4, input_counts.size)
+        )
 
     def _tile_energy(
         self, stats: MacroStats, tile_weights: np.ndarray, sparse: bool

@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["CSDAdderTree", "PostProcessingUnit"]
+__all__ = ["CSDAdderTree", "PostProcessingUnit", "PostProcessingBank"]
 
 
 class CSDAdderTree:
@@ -100,3 +100,66 @@ class PostProcessingUnit:
         value = self.accumulator
         self.accumulator = 0
         return value
+
+
+class PostProcessingBank:
+    """A vectorised bank of :class:`PostProcessingUnit` s.
+
+    The macro drives one post-processing unit per concurrently-processed
+    filter; accumulating them one Python call at a time (per filter, per
+    bit column) dominates the functional model's runtime.  The bank holds
+    all accumulators in one integer array and applies a whole block of
+    bit columns -- ``(columns, filters)`` partial sums, shifted by their
+    per-column input bit position -- in a single array operation, while
+    keeping the same shift-and-add operation count the scalar units would
+    have recorded.
+    """
+
+    def __init__(self, num_filters: int) -> None:
+        if num_filters <= 0:
+            raise ValueError("num_filters must be positive")
+        self.num_filters = num_filters
+        self.accumulators = np.zeros(num_filters, dtype=np.int64)
+        self.shift_add_operations = 0
+
+    def accumulate(self, partial_sums: np.ndarray, input_bit_position: int) -> None:
+        """Accumulate one bit column's per-filter partial sums.
+
+        Args:
+            partial_sums: integer array of length ``num_filters``.
+            input_bit_position: bit significance of the column.
+        """
+        self.accumulate_columns(
+            np.asarray(partial_sums, dtype=np.int64).reshape(1, -1),
+            np.array([input_bit_position], dtype=np.int64),
+        )
+
+    def accumulate_columns(
+        self, partial_sums: np.ndarray, input_bit_positions: np.ndarray
+    ) -> None:
+        """Accumulate a block of bit columns in one vectorised step.
+
+        Args:
+            partial_sums: integer array ``(num_columns, num_filters)`` with
+                the adder-tree output of every (column, filter) pair.
+            input_bit_positions: per-column bit significance
+                (``num_columns``, non-negative).
+        """
+        partial_sums = np.asarray(partial_sums, dtype=np.int64)
+        positions = np.asarray(input_bit_positions, dtype=np.int64)
+        if partial_sums.ndim != 2 or partial_sums.shape[1] != self.num_filters:
+            raise ValueError(
+                f"expected partial sums of shape (columns, {self.num_filters})"
+            )
+        if positions.shape != (partial_sums.shape[0],):
+            raise ValueError("one bit position is required per column")
+        if positions.size and positions.min() < 0:
+            raise ValueError("input bit positions must be non-negative")
+        self.accumulators += (partial_sums << positions[:, None]).sum(axis=0)
+        self.shift_add_operations += partial_sums.shape[0] * self.num_filters
+
+    def reset(self) -> np.ndarray:
+        """Read out and clear every accumulator (output-RF write-back)."""
+        values = self.accumulators.copy()
+        self.accumulators[:] = 0
+        return values

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+import numpy as np
+
 from .config import BufferConfig
 
 __all__ = ["Buffer", "BufferSet"]
@@ -45,6 +47,34 @@ class Buffer:
         if num_bytes < 0:
             raise ValueError("byte counts must be non-negative")
         self.bytes_read += num_bytes
+
+    def read_batch(self, byte_counts: np.ndarray) -> None:
+        """Record many reads in one vectorised step.
+
+        Equivalent to calling :meth:`read` once per entry of
+        ``byte_counts`` (reads do not move occupancy, so only the total
+        matters), without the per-access Python overhead.
+        """
+        counts = np.asarray(byte_counts, dtype=np.int64)
+        if counts.size and counts.min() < 0:
+            raise ValueError("byte counts must be non-negative")
+        self.bytes_read += int(counts.sum())
+
+    def write_batch(self, byte_counts: np.ndarray) -> None:
+        """Record many writes in one vectorised step.
+
+        Equivalent to calling :meth:`write` once per entry of
+        ``byte_counts`` when no :meth:`free` interleaves the writes: the
+        occupancy of such a monotone write sequence is the capacity-capped
+        running total, so its peak equals the capped grand total.
+        """
+        counts = np.asarray(byte_counts, dtype=np.int64)
+        if counts.size and counts.min() < 0:
+            raise ValueError("byte counts must be non-negative")
+        total = int(counts.sum())
+        self.bytes_written += total
+        self._occupancy = min(self._occupancy + total, self.capacity_bytes)
+        self.peak_occupancy = max(self.peak_occupancy, self._occupancy)
 
     def free(self, num_bytes: int) -> None:
         """Release occupancy after data is consumed."""

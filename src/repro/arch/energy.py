@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+import numpy as np
+
 __all__ = ["EnergyLibrary", "EnergyBreakdown", "EnergyModel"]
 
 
@@ -148,6 +150,68 @@ class EnergyModel:
             control=cycles * lib.controller_cycle_pj,
             leakage=cycles * lib.macro_leakage_cycle_pj,
         )
+
+    def layer_energy_arrays(
+        self,
+        cycles: np.ndarray,
+        cell_activations: np.ndarray,
+        adder_tree_ops: np.ndarray,
+        post_processing_ops: np.ndarray,
+        ipu_bits: np.ndarray,
+        meta_rf_bytes: np.ndarray,
+        buffer_bytes: np.ndarray,
+    ) -> Dict[str, np.ndarray]:
+        """Vectorised :meth:`layer_energy` over arrays of layers.
+
+        Applies exactly the same per-component formulas as
+        :meth:`layer_energy`, element-wise over same-length activity arrays,
+        so one call prices a whole batch of layers.  This is the energy
+        backend of the vectorized cycle-model engine
+        (:mod:`repro.sim.vectorized`).
+
+        Parameters
+        ----------
+        cycles, cell_activations, adder_tree_ops, post_processing_ops, \
+        ipu_bits, meta_rf_bytes, buffer_bytes : numpy.ndarray
+            Per-layer activity counts (broadcastable to one common shape).
+
+        Returns
+        -------
+        dict of str to numpy.ndarray
+            One float64 array per :class:`EnergyBreakdown` component
+            (``"macro_compute"``, ..., ``"leakage"``), aligned with the
+            input arrays.
+
+        Raises
+        ------
+        ValueError
+            If any activity count is negative.
+        """
+        activities = {
+            "cycles": np.asarray(cycles, dtype=np.float64),
+            "cell_activations": np.asarray(cell_activations, dtype=np.float64),
+            "adder_tree_ops": np.asarray(adder_tree_ops, dtype=np.float64),
+            "post_processing_ops": np.asarray(post_processing_ops, dtype=np.float64),
+            "ipu_bits": np.asarray(ipu_bits, dtype=np.float64),
+            "meta_rf_bytes": np.asarray(meta_rf_bytes, dtype=np.float64),
+            "buffer_bytes": np.asarray(buffer_bytes, dtype=np.float64),
+        }
+        for name, values in activities.items():
+            if values.size and values.min() < 0:
+                raise ValueError(f"activity count {name} must be non-negative")
+        lib = self.library
+        return {
+            "macro_compute": activities["cell_activations"] * lib.cell_activation_pj,
+            "adder_tree": activities["adder_tree_ops"] * lib.adder_tree_op_pj,
+            "post_processing": (
+                activities["post_processing_ops"] * lib.post_processing_op_pj
+            ),
+            "ipu": activities["ipu_bits"] * lib.ipu_bit_pj,
+            "meta_rf": activities["meta_rf_bytes"] * lib.meta_rf_byte_pj,
+            "buffers": activities["buffer_bytes"] * lib.buffer_byte_pj,
+            "control": activities["cycles"] * lib.controller_cycle_pj,
+            "leakage": activities["cycles"] * lib.macro_leakage_cycle_pj,
+        }
 
     @staticmethod
     def energy_saving(baseline: EnergyBreakdown, improved: EnergyBreakdown) -> float:

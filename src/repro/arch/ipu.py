@@ -103,6 +103,29 @@ class InputPreprocessingUnit:
         mask = self.zero_column_mask(inputs)
         return int(np.count_nonzero(~mask))
 
+    def group_active_columns(self, inputs: np.ndarray) -> np.ndarray:
+        """Non-zero bit-column count of every IPU group, in one array pass.
+
+        Pads the flat activation vector with zeros up to a whole number of
+        groups (zeros never add active columns), reshapes it to
+        ``(groups, group_size)`` and ORs the bit planes across each group --
+        the vectorized equivalent of calling :meth:`broadcast_cycles` on
+        every group in a Python loop.
+
+        Args:
+            inputs: flat unsigned integer activation vector (any length).
+
+        Returns:
+            ``int64`` array with one active-column count per group.
+        """
+        inputs = self._validate(np.asarray(inputs).reshape(-1))
+        groups = -(-inputs.size // self.group_size)
+        padded = np.zeros(groups * self.group_size, dtype=np.int64)
+        padded[: inputs.size] = inputs
+        grouped = padded.reshape(groups, self.group_size)
+        bits = (grouped[:, :, None] >> np.arange(self.input_bits)) & 1
+        return bits.any(axis=1).sum(axis=1).astype(np.int64)
+
     def average_active_columns(
         self, inputs: np.ndarray, skip_zero_columns: bool = True
     ) -> float:
@@ -110,17 +133,14 @@ class InputPreprocessingUnit:
 
         This is the quantity the cycle-level performance model needs: the
         expected number of input bit positions that must be processed per
-        group of ``group_size`` activations.
+        group of ``group_size`` activations.  Computed by one vectorized
+        pass over all groups (see :meth:`group_active_columns`).
         """
         inputs = self._validate(np.asarray(inputs).reshape(-1))
         if not skip_zero_columns:
             return float(self.input_bits)
-        total_cycles = 0
-        total_groups = 0
-        for _, group in self.iter_groups(inputs):
-            total_cycles += self.broadcast_cycles(group)
-            total_groups += 1
-        return total_cycles / max(total_groups, 1)
+        per_group = self.group_active_columns(inputs)
+        return int(per_group.sum()) / per_group.size
 
     def _validate(self, inputs: np.ndarray) -> np.ndarray:
         inputs = np.asarray(inputs, dtype=np.int64)

@@ -30,7 +30,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.dyadic_block import nonzero_blocks_of_value
-from .adder_tree import PostProcessingUnit
+from .adder_tree import PostProcessingBank
 from .config import MacroConfig
 from .ipu import InputPreprocessingUnit
 
@@ -203,7 +203,7 @@ class PIMMacro:
 
     def _matvec_sparse(self, inputs: np.ndarray, skip_zero_columns: bool) -> tuple:
         ipu = InputPreprocessingUnit(self.config.input_bits, self.config.input_group)
-        post_processing = [PostProcessingUnit() for _ in range(self._num_filters)]
+        bank = PostProcessingBank(self._num_filters)
         stats = MacroStats()
         if self._blocks:
             block_filters = np.array([b.filter_index for b in self._blocks])
@@ -221,34 +221,49 @@ class PIMMacro:
                 if skip_zero_columns
                 else ipu.all_columns(group)
             )
+            if not columns:
+                continue
             in_group = (block_rows >= start) & (block_rows < start + group.size)
             rows_in_group = min(group.size, self.config.rows)
-            for column in columns:
-                stats.broadcast_cycles += 1
-                # Every allocated cell of the active rows is driven this
-                # cycle, whether it stores a useful block or padding.
-                stats.cell_activations += allocated_cells_per_column * rows_in_group
-                if in_group.any():
-                    bits = column.bits[block_rows[in_group] - start]
-                    stats.effective_cell_activations += int(in_group.sum())
-                    stats.adder_tree_operations += int(in_group.sum())
-                    # Per-block signed, shifted contribution (the CSD adder
-                    # tree), reduced per filter.
-                    signed = block_signs[in_group] * (
-                        bits << block_positions[in_group]
-                    )
-                    partial = np.zeros(self._num_filters, dtype=np.int64)
-                    np.add.at(partial, block_filters[in_group], signed)
-                    for filter_index in range(self._num_filters):
-                        post_processing[filter_index].accumulate(
-                            int(partial[filter_index]), column.position
-                        )
-        outputs = np.array([unit.reset() for unit in post_processing], dtype=np.int64)
-        return outputs, stats
+            num_columns = len(columns)
+            stats.broadcast_cycles += num_columns
+            # Every allocated cell of the active rows is driven every cycle,
+            # whether it stores a useful block or padding.
+            stats.cell_activations += (
+                allocated_cells_per_column * rows_in_group * num_columns
+            )
+            blocks_in_group = int(in_group.sum())
+            if blocks_in_group:
+                stats.effective_cell_activations += blocks_in_group * num_columns
+                stats.adder_tree_operations += blocks_in_group * num_columns
+                # All of the group's bit columns at once: the (column, block)
+                # signed, shifted contributions (the CSD adder tree), reduced
+                # per (column, filter) pair, then shift-and-add accumulated.
+                bits = np.stack([column.bits for column in columns])
+                positions = np.array(
+                    [column.position for column in columns], dtype=np.int64
+                )
+                relative_rows = block_rows[in_group] - start
+                signed = block_signs[in_group][None, :] * (
+                    bits[:, relative_rows] << block_positions[in_group][None, :]
+                )
+                partial = np.zeros(
+                    (num_columns, self._num_filters), dtype=np.int64
+                )
+                np.add.at(
+                    partial,
+                    (
+                        np.arange(num_columns)[:, None],
+                        block_filters[in_group][None, :],
+                    ),
+                    signed,
+                )
+                bank.accumulate_columns(partial, positions)
+        return bank.reset(), stats
 
     def _matvec_dense(self, inputs: np.ndarray, skip_zero_columns: bool) -> tuple:
         ipu = InputPreprocessingUnit(self.config.input_bits, self.config.input_group)
-        post_processing = [PostProcessingUnit() for _ in range(self._num_filters)]
+        bank = PostProcessingBank(self._num_filters)
         stats = MacroStats()
         weights = self._dense_weights
         weight_bits = self.config.weight_bits
@@ -266,24 +281,26 @@ class PIMMacro:
                 if skip_zero_columns
                 else ipu.all_columns(group)
             )
+            if not columns:
+                continue
             rows = slice(start, start + group.size)
             group_planes = planes[:, rows, :]
             stored_cells = self._num_filters * weight_bits * group.size
             nonzero_cells = int(group_planes.sum())
-            for column in columns:
-                stats.broadcast_cycles += 1
-                stats.cell_activations += stored_cells
-                stats.effective_cell_activations += nonzero_cells
-                stats.adder_tree_operations += stored_cells
-                partial = np.einsum(
-                    "fib,i,b->f", group_planes, column.bits, plane_values
-                )
-                for filter_index in range(self._num_filters):
-                    post_processing[filter_index].accumulate(
-                        int(partial[filter_index]), column.position
-                    )
-        outputs = np.array([unit.reset() for unit in post_processing], dtype=np.int64)
-        return outputs, stats
+            num_columns = len(columns)
+            stats.broadcast_cycles += num_columns
+            stats.cell_activations += stored_cells * num_columns
+            stats.effective_cell_activations += nonzero_cells * num_columns
+            stats.adder_tree_operations += stored_cells * num_columns
+            # All bit columns of the group in one contraction: per-(column,
+            # filter) partial sums, then one vectorised shift-and-add.
+            bits = np.stack([column.bits for column in columns])
+            positions = np.array(
+                [column.position for column in columns], dtype=np.int64
+            )
+            partial = np.einsum("fib,ci,b->cf", group_planes, bits, plane_values)
+            bank.accumulate_columns(partial, positions)
+        return bank.reset(), stats
 
     # ------------------------------------------------------------------
     # Introspection

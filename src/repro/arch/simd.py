@@ -10,6 +10,7 @@ for the work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -58,6 +59,39 @@ class SIMDCore:
         scaled = np.clip(np.round(np.asarray(accumulators) * scale), 0, high)
         self._count(scaled.size)
         return scaled.astype(np.int64)
+
+    def postprocess(
+        self,
+        accumulators: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        scale: float = 1.0,
+        apply_relu: bool = True,
+        num_bits: int = 8,
+    ) -> np.ndarray:
+        """The standard post-PIM pipeline as one vectorised call.
+
+        Applies (in order) bias addition, ReLU on the biased partial sums
+        and requantization to the unsigned activation grid -- the element-
+        wise chain every layer's outputs pass through -- charging the same
+        per-stage operation counts as calling :meth:`add`, :meth:`relu` and
+        :meth:`requantize` separately.
+
+        Args:
+            accumulators: INT32-range partial sums from the PIM core.
+            bias: optional per-element (or broadcastable) bias.
+            scale: requantization scale factor.
+            apply_relu: clamp negative values before requantizing.
+            num_bits: output bit width.
+
+        Returns:
+            Unsigned ``num_bits``-bit activation codes (``int64``).
+        """
+        values = np.asarray(accumulators)
+        if bias is not None:
+            values = self.add(values, bias)
+        if apply_relu:
+            values = self.relu(values)
+        return self.requantize(values, scale, num_bits=num_bits)
 
     @property
     def cycles(self) -> int:

@@ -23,7 +23,12 @@ import numpy as np
 from ..arch.config import DBPIMConfig
 from ..workloads.layers import LayerShape
 
-__all__ = ["LayerMapping", "map_layer"]
+__all__ = ["MAX_FTA_THRESHOLD", "LayerMapping", "map_layer"]
+
+#: Largest per-filter FTA threshold (``φ_th``) the dyadic-block mapping can
+#: represent; the cycle-model engines share this bound (see
+#: :mod:`repro.sim.vectorized`).
+MAX_FTA_THRESHOLD = 4
 
 
 @dataclass(frozen=True)
@@ -68,8 +73,10 @@ def _filter_iterations_sparse(
 ) -> tuple:
     """Iterations and average parallel filters when grouping by threshold."""
     macro = config.macro
-    if thresholds.size and (thresholds.min() < 0 or thresholds.max() > 4):
-        raise ValueError("FTA thresholds must lie in 0..4")
+    if thresholds.size and (
+        thresholds.min() < 0 or thresholds.max() > MAX_FTA_THRESHOLD
+    ):
+        raise ValueError(f"FTA thresholds must lie in 0..{MAX_FTA_THRESHOLD}")
     iterations = 0
     weighted_parallel = 0.0
     total = 0

@@ -1,19 +1,38 @@
-"""Cycle-level performance simulation and system metrics."""
+"""Cycle-level performance simulation and system metrics.
+
+Two engines back the cycle model: the NumPy-vectorized batch kernel
+(:mod:`repro.sim.vectorized`, the default) and the per-layer scalar
+reference (``engine="scalar"``); both produce bitwise-identical results.
+"""
 
 from .cycle_model import (
+    DEFAULT_ENGINE,
+    ENGINES,
     SPARSITY_VARIANTS,
     CycleModel,
     LayerPerformance,
     ModelPerformance,
 )
 from .metrics import SystemMetrics, compute_metrics, peak_throughput_tops
+from .vectorized import (
+    MAX_FTA_THRESHOLD,
+    BatchActivity,
+    ProfileArrays,
+    simulate_layers,
+)
 
 __all__ = [
     "SPARSITY_VARIANTS",
+    "ENGINES",
+    "DEFAULT_ENGINE",
     "CycleModel",
     "LayerPerformance",
     "ModelPerformance",
     "SystemMetrics",
     "compute_metrics",
     "peak_throughput_tops",
+    "MAX_FTA_THRESHOLD",
+    "BatchActivity",
+    "ProfileArrays",
+    "simulate_layers",
 ]

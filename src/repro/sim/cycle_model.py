@@ -10,28 +10,74 @@ of the four configurations compared in Fig. 7:
 * ``input sparsity``  -- baseline mapping + IPU zero-column skipping,
 * ``weight sparsity`` -- dyadic-block mapping, no input skipping,
 * ``hybrid sparsity`` -- both (the full DB-PIM).
+
+Two interchangeable engines back the model (see
+:data:`ENGINES` and ``docs/performance.md``):
+
+* ``"vectorized"`` (default) -- the NumPy batch kernel of
+  :mod:`repro.sim.vectorized`, which evaluates whole layers -- and batches
+  of (model, variant, config) jobs via :meth:`CycleModel.run_batch` -- as
+  array operations;
+* ``"scalar"`` -- the original per-layer reference implementation, kept
+  selectable for auditing and pinned bitwise-equal to the vectorized engine
+  by the equivalence tests.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__docformat__ = "numpy"
 
 from ..arch.config import DBPIMConfig
 from ..arch.energy import EnergyBreakdown, EnergyModel
 from ..compiler.mapping import map_layer
 from ..workloads.layers import LayerShape
 from ..workloads.profiles import LayerSparsityProfile, ModelSparsityProfile
+from .vectorized import BatchActivity, ProfileArrays, simulate_layers
 
-__all__ = ["LayerPerformance", "ModelPerformance", "CycleModel", "SPARSITY_VARIANTS"]
+__all__ = [
+    "LayerPerformance",
+    "ModelPerformance",
+    "CycleModel",
+    "SPARSITY_VARIANTS",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+]
 
 #: The four configurations of Fig. 7, in plotting order.
 SPARSITY_VARIANTS = ("base", "input", "weight", "hybrid")
 
+#: The selectable cycle-model engines.
+ENGINES = ("scalar", "vectorized")
+
+#: Engine used when none is requested: the NumPy batch kernel.
+DEFAULT_ENGINE = "vectorized"
+
 
 @dataclass
 class LayerPerformance:
-    """Latency / energy / activity of one layer under one configuration."""
+    """Latency / energy / activity of one layer under one configuration.
+
+    Attributes
+    ----------
+    layer : LayerShape
+        The layer the numbers describe.
+    cycles : float
+        Bit-serial broadcast cycles of the whole layer.
+    cell_activations : float
+        6T cells driven over all cycles.
+    effective_cell_activations : float
+        Cells whose activation did useful work (``U_act`` numerator).
+    energy : EnergyBreakdown
+        Component-wise energy of the layer (pJ).
+    macs : int
+        Multiply-accumulate operations of the layer.
+    """
 
     layer: LayerShape
     cycles: float
@@ -50,7 +96,18 @@ class LayerPerformance:
 
 @dataclass
 class ModelPerformance:
-    """Aggregated performance of a whole workload under one configuration."""
+    """Aggregated performance of a whole workload under one configuration.
+
+    Attributes
+    ----------
+    name : str
+        Workload name.
+    variant : str
+        The Fig. 7 configuration the numbers belong to (``"base"``,
+        ``"input"``, ``"weight"`` or ``"hybrid"``).
+    layers : list of LayerPerformance
+        Per-layer results, in network order.
+    """
 
     name: str
     variant: str
@@ -58,18 +115,22 @@ class ModelPerformance:
 
     @property
     def total_cycles(self) -> float:
+        """Broadcast cycles summed over every layer."""
         return sum(layer.cycles for layer in self.layers)
 
     @property
     def total_energy_pj(self) -> float:
+        """Energy summed over every layer, in pJ."""
         return sum(layer.energy.total_pj for layer in self.layers)
 
     @property
     def total_macs(self) -> int:
+        """Multiply-accumulates summed over every layer."""
         return sum(layer.macs for layer in self.layers)
 
     @property
     def actual_utilization(self) -> float:
+        """Model-level ``U_act``: effective / total cell activations."""
         total = sum(layer.cell_activations for layer in self.layers)
         effective = sum(layer.effective_cell_activations for layer in self.layers)
         return effective / total if total else 0.0
@@ -83,40 +144,97 @@ class ModelPerformance:
 
 
 class CycleModel:
-    """Analytical latency/energy model over workload sparsity profiles."""
+    """Analytical latency/energy model over workload sparsity profiles.
+
+    Parameters
+    ----------
+    config : DBPIMConfig, optional
+        Hardware configuration (the paper's DB-PIM default when omitted).
+    energy_model : EnergyModel, optional
+        Activity-to-energy pricing (shared component library default).
+    engine : str, optional
+        ``"vectorized"`` (default) for the NumPy batch kernel or
+        ``"scalar"`` for the per-layer reference implementation; both
+        produce bitwise-identical results.
+    """
 
     def __init__(
         self,
         config: Optional[DBPIMConfig] = None,
         energy_model: Optional[EnergyModel] = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         self.config = config or DBPIMConfig()
         self.energy_model = energy_model or EnergyModel()
+        self.engine = engine
+        # ProfileArrays are pure functions of a profile; memoise them per
+        # live profile object so a 4-variant (or whole-sweep) batch flattens
+        # each profile once.  Guarded by a weakref so a recycled ``id()``
+        # can never alias a dead profile's arrays.
+        self._arrays_cache: Dict[int, Tuple[weakref.ref, ProfileArrays]] = {}
 
     # ------------------------------------------------------------------
     # Configuration variants
     # ------------------------------------------------------------------
-    def variant_config(self, variant: str) -> DBPIMConfig:
-        """The hardware configuration of one Fig. 7 variant."""
+    @staticmethod
+    def variant_config_of(config: DBPIMConfig, variant: str) -> DBPIMConfig:
+        """The Fig. 7 variant of an arbitrary base configuration.
+
+        Parameters
+        ----------
+        config : DBPIMConfig
+            Base (hybrid) hardware configuration.
+        variant : str
+            One of :data:`SPARSITY_VARIANTS`.
+
+        Returns
+        -------
+        DBPIMConfig
+            ``config`` with the variant's sparsity flags applied.
+        """
         if variant == "base":
-            return self.config.dense_baseline()
+            return config.dense_baseline()
         if variant == "input":
-            return self.config.input_sparsity_only()
+            return config.input_sparsity_only()
         if variant == "weight":
-            return self.config.weight_sparsity_only()
+            return config.weight_sparsity_only()
         if variant == "hybrid":
-            return self.config
+            return config
         raise ValueError(
             f"unknown variant {variant!r}; expected one of {SPARSITY_VARIANTS}"
         )
 
+    def variant_config(self, variant: str) -> DBPIMConfig:
+        """The hardware configuration of one Fig. 7 variant."""
+        return self.variant_config_of(self.config, variant)
+
     # ------------------------------------------------------------------
-    # Per-layer model
+    # Per-layer model (scalar reference; also the single-layer API)
     # ------------------------------------------------------------------
     def run_layer(
         self, profile: LayerSparsityProfile, variant: str = "hybrid"
     ) -> LayerPerformance:
-        """Latency/energy of one layer under one configuration."""
+        """Latency/energy of one layer under one configuration.
+
+        Always evaluated by the scalar reference path (a single layer has
+        nothing to batch).
+
+        Parameters
+        ----------
+        profile : LayerSparsityProfile
+            The layer's sparsity statistics.
+        variant : str, optional
+            One of :data:`SPARSITY_VARIANTS` (default ``"hybrid"``).
+
+        Returns
+        -------
+        LayerPerformance
+            The layer's cycles, cell activity and energy.
+        """
         config = self.variant_config(variant)
         layer = profile.layer
         mapping = map_layer(
@@ -169,7 +287,39 @@ class CycleModel:
     def run_model(
         self, profile: ModelSparsityProfile, variant: str = "hybrid"
     ) -> ModelPerformance:
-        """Latency/energy of a whole workload under one configuration."""
+        """Latency/energy of a whole workload under one configuration.
+
+        Dispatches to the engine selected at construction; both engines
+        return identical numbers.
+
+        Parameters
+        ----------
+        profile : ModelSparsityProfile
+            The profiled workload.
+        variant : str, optional
+            One of :data:`SPARSITY_VARIANTS` (default ``"hybrid"``).
+
+        Returns
+        -------
+        ModelPerformance
+            Per-layer and aggregate performance of the workload.
+        """
+        if self.engine == "scalar":
+            return self._run_model_scalar(profile, variant)
+        return self.run_batch([(profile, variant)])[0]
+
+    def _run_model_scalar(
+        self,
+        profile: ModelSparsityProfile,
+        variant: str,
+        base_config: Optional[DBPIMConfig] = None,
+    ) -> ModelPerformance:
+        """Reference per-layer loop (the original engine)."""
+        if base_config is not None and base_config is not self.config:
+            reference = CycleModel(
+                base_config, self.energy_model, engine="scalar"
+            )
+            return reference._run_model_scalar(profile, variant)
         performance = ModelPerformance(
             name=profile.workload.name, variant=variant
         )
@@ -180,11 +330,180 @@ class CycleModel:
     def run_all_variants(
         self, profile: ModelSparsityProfile
     ) -> Dict[str, ModelPerformance]:
-        """Run the four Fig. 7 configurations for one workload."""
-        return {
-            variant: self.run_model(profile, variant)
-            for variant in SPARSITY_VARIANTS
+        """Run the four Fig. 7 configurations for one workload.
+
+        With the vectorized engine all four variants are evaluated as one
+        batched array pass over the profile.
+
+        Parameters
+        ----------
+        profile : ModelSparsityProfile
+            The profiled workload.
+
+        Returns
+        -------
+        dict of str to ModelPerformance
+            One entry per :data:`SPARSITY_VARIANTS` name.
+        """
+        if self.engine == "scalar":
+            return {
+                variant: self._run_model_scalar(profile, variant)
+                for variant in SPARSITY_VARIANTS
+            }
+        performances = self.run_batch(
+            [(profile, variant) for variant in SPARSITY_VARIANTS]
+        )
+        return dict(zip(SPARSITY_VARIANTS, performances))
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        jobs: Sequence[Tuple[ModelSparsityProfile, str]],
+        configs: Optional[Sequence[DBPIMConfig]] = None,
+    ) -> List[ModelPerformance]:
+        """Evaluate many (profile, variant) jobs in one vectorized pass.
+
+        The layers of every job are concatenated into a single
+        structure-of-arrays batch -- hardware geometry and sparsity flags
+        become per-layer arrays -- so an entire design-space axis (models,
+        variants, macro counts, ...) is simulated by one NumPy expression
+        instead of nested Python loops.  With the scalar engine the jobs
+        fall back to a per-job reference loop.
+
+        Parameters
+        ----------
+        jobs : sequence of (ModelSparsityProfile, str)
+            The (workload profile, Fig. 7 variant) pairs to evaluate.
+        configs : sequence of DBPIMConfig, optional
+            Per-job base hardware configuration; defaults to this model's
+            configuration for every job.  Must align with ``jobs``.
+
+        Returns
+        -------
+        list of ModelPerformance
+            One result per job, in job order.
+
+        Raises
+        ------
+        ValueError
+            If ``configs`` is given with a different length than ``jobs``,
+            or a variant name is unknown.
+        """
+        jobs = list(jobs)
+        if configs is None:
+            config_list = [self.config] * len(jobs)
+        else:
+            config_list = list(configs)
+            if len(config_list) != len(jobs):
+                raise ValueError(
+                    f"got {len(jobs)} jobs but {len(config_list)} configs"
+                )
+        variant_configs = [
+            self.variant_config_of(config, variant)
+            for (_, variant), config in zip(jobs, config_list)
+        ]
+        if self.engine == "scalar":
+            return [
+                self._run_model_scalar(profile, variant, base_config=config)
+                for (profile, variant), config in zip(jobs, config_list)
+            ]
+        if not jobs:
+            return []
+        job_arrays = [self._arrays_for(profile) for profile, _ in jobs]
+        lengths = np.array([len(arrays) for arrays in job_arrays], dtype=np.int64)
+        batch = _concatenate_arrays(job_arrays)
+
+        def _per_layer(values, dtype) -> np.ndarray:
+            return np.repeat(np.array(values, dtype=dtype), lengths)
+
+        activity = simulate_layers(
+            batch,
+            rows=_per_layer([c.macro.rows for c in variant_configs], np.int64),
+            columns=_per_layer(
+                [c.macro.columns for c in variant_configs], np.int64
+            ),
+            input_bits=_per_layer(
+                [c.macro.input_bits for c in variant_configs], np.int64
+            ),
+            weight_bits=_per_layer(
+                [c.macro.weight_bits for c in variant_configs], np.int64
+            ),
+            num_macros=_per_layer(
+                [c.num_macros for c in variant_configs], np.int64
+            ),
+            weight_sparsity=_per_layer(
+                [c.weight_sparsity for c in variant_configs], bool
+            ),
+            input_sparsity=_per_layer(
+                [c.input_sparsity for c in variant_configs], bool
+            ),
+            energy_model=self.energy_model,
+        )
+        return self._materialize_jobs(jobs, job_arrays, activity)
+
+    def _arrays_for(self, profile: ModelSparsityProfile) -> ProfileArrays:
+        """Memoised :class:`ProfileArrays` of one live profile object."""
+        key = id(profile)
+        entry = self._arrays_cache.get(key)
+        if entry is not None:
+            ref, arrays = entry
+            if ref() is profile:
+                return arrays
+        arrays = ProfileArrays.from_profile(profile)
+        # The finalizer evicts the entry when the profile dies, bounding the
+        # cache by the number of *live* profiles; the identity check above
+        # guards the window where a recycled id() precedes the callback.
+        cache = self._arrays_cache
+        self._arrays_cache[key] = (
+            weakref.ref(profile, lambda _: cache.pop(key, None)),
+            arrays,
+        )
+        return arrays
+
+    @staticmethod
+    def _materialize_jobs(
+        jobs: Sequence[Tuple[ModelSparsityProfile, str]],
+        job_arrays: Sequence[ProfileArrays],
+        activity: BatchActivity,
+    ) -> List[ModelPerformance]:
+        """Slice a batch back into per-job :class:`ModelPerformance`."""
+        # ``.tolist()`` converts whole arrays to native Python scalars in C,
+        # far cheaper than per-element indexing.
+        cycles = activity.cycles.tolist()
+        cells = activity.cell_activations.tolist()
+        effective = activity.effective_cell_activations.tolist()
+        macs = activity.macs.tolist()
+        energy_lists = {
+            name: values.tolist() for name, values in activity.energy.items()
         }
+        results: List[ModelPerformance] = []
+        offset = 0
+        for (profile, variant), arrays in zip(jobs, job_arrays):
+            performance = ModelPerformance(
+                name=profile.workload.name, variant=variant
+            )
+            for index, layer in enumerate(arrays.layers, start=offset):
+                energy = EnergyBreakdown(
+                    **{
+                        name: values[index]
+                        for name, values in energy_lists.items()
+                    }
+                )
+                performance.layers.append(
+                    LayerPerformance(
+                        layer=layer,
+                        cycles=cycles[index],
+                        cell_activations=cells[index],
+                        effective_cell_activations=effective[index],
+                        energy=energy,
+                        macs=macs[index],
+                    )
+                )
+            offset += len(arrays)
+            results.append(performance)
+        return results
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -193,7 +512,14 @@ class CycleModel:
     def speedup(
         baseline: ModelPerformance, improved: ModelPerformance
     ) -> float:
-        """Cycle-count speedup of ``improved`` over ``baseline``."""
+        """Cycle-count speedup of ``improved`` over ``baseline``.
+
+        Raises
+        ------
+        ValueError
+            If the improved configuration reports zero (or negative)
+            cycles.
+        """
         if improved.total_cycles <= 0:
             raise ValueError("improved configuration reports zero cycles")
         return baseline.total_cycles / improved.total_cycles
@@ -202,7 +528,36 @@ class CycleModel:
     def energy_saving(
         baseline: ModelPerformance, improved: ModelPerformance
     ) -> float:
-        """Fractional energy saving of ``improved`` over ``baseline``."""
+        """Fractional energy saving of ``improved`` over ``baseline``.
+
+        Raises
+        ------
+        ValueError
+            If the baseline configuration reports non-positive energy.
+        """
         if baseline.total_energy_pj <= 0:
             raise ValueError("baseline configuration reports zero energy")
         return 1.0 - improved.total_energy_pj / baseline.total_energy_pj
+
+
+def _concatenate_arrays(batches: Sequence[ProfileArrays]) -> ProfileArrays:
+    """Concatenate several :class:`ProfileArrays` into one batch."""
+    if len(batches) == 1:
+        return batches[0]
+    return ProfileArrays(
+        layers=tuple(layer for batch in batches for layer in batch.layers),
+        out_channels=np.concatenate([b.out_channels for b in batches]),
+        reduction=np.concatenate([b.reduction for b in batches]),
+        output_positions=np.concatenate([b.output_positions for b in batches]),
+        activation_count=np.concatenate([b.activation_count for b in batches]),
+        weight_count=np.concatenate([b.weight_count for b in batches]),
+        macs=np.concatenate([b.macs for b in batches]),
+        input_active_columns=np.concatenate(
+            [b.input_active_columns for b in batches]
+        ),
+        storage_utilization=np.concatenate(
+            [b.storage_utilization for b in batches]
+        ),
+        binary_zero_ratio=np.concatenate([b.binary_zero_ratio for b in batches]),
+        threshold_counts=np.concatenate([b.threshold_counts for b in batches]),
+    )

@@ -1,0 +1,325 @@
+"""NumPy-vectorized batch kernel of the cycle-level performance model.
+
+The scalar engine in :mod:`repro.sim.cycle_model` walks a workload one layer
+at a time and, inside :func:`repro.compiler.mapping.map_layer`, one FTA
+threshold group at a time -- pure-Python iteration that dominates the cost
+of every design-space sweep.  This module re-expresses the *entire* model as
+array operations over structure-of-arrays layer batches:
+
+* :class:`ProfileArrays` flattens a
+  :class:`~repro.workloads.profiles.ModelSparsityProfile` into per-layer
+  NumPy arrays (shapes, sparsity statistics and a per-layer histogram of the
+  FTA thresholds -- thresholds are bounded by :data:`MAX_FTA_THRESHOLD`, so
+  the variable-length per-filter threshold tuples collapse into a dense
+  ``(layers, 5)`` count matrix);
+* :func:`simulate_layers` evaluates the mapping equations (filter grouping,
+  tiling, bit-serial cycle counts) and the energy model for a whole batch of
+  layers in one vectorized pass.  The batch may concatenate many layers,
+  many sparsity variants, many models and even many hardware configurations
+  -- every hardware knob is itself a per-layer array.
+
+Numerical contract
+------------------
+Every arithmetic step mirrors the scalar engine operation-for-operation
+(integer ceil-divisions, ``int()`` truncation of the average parallel-filter
+count, the exact order of float multiplications), so results are **bitwise
+identical** to the scalar engine -- pinned by the equivalence suite in
+``tests/sim/test_vectorized.py``.  The scalar engine therefore survives as
+the readable reference implementation; this kernel is the fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+__docformat__ = "numpy"
+
+import numpy as np
+
+from ..arch.energy import EnergyModel
+from ..compiler.mapping import MAX_FTA_THRESHOLD
+from ..workloads.layers import LayerShape
+from ..workloads.profiles import ModelSparsityProfile
+
+__all__ = [
+    "MAX_FTA_THRESHOLD",
+    "ProfileArrays",
+    "BatchActivity",
+    "simulate_layers",
+]
+
+
+@dataclass(frozen=True)
+class ProfileArrays:
+    """Structure-of-arrays form of one workload's sparsity profile.
+
+    One instance flattens every per-layer quantity the cycle model consumes
+    into aligned NumPy arrays so a whole model (or a concatenation of
+    models) can be simulated as one array expression.
+
+    Attributes
+    ----------
+    layers : tuple of LayerShape
+        The layer descriptors, in profile order (kept for materialising
+        per-layer results back into typed records).
+    out_channels, reduction, output_positions, activation_count, \
+    weight_count, macs : numpy.ndarray
+        Per-layer integer shape quantities (``int64``).
+    input_active_columns, storage_utilization, binary_zero_ratio : \
+    numpy.ndarray
+        Per-layer sparsity statistics (``float64``): measured IPU active
+        bit columns, Comp.-Pattern storage utilisation, and the zero-bit
+        ratio of the plain binary INT8 weights.
+    threshold_counts : numpy.ndarray
+        ``(num_layers, MAX_FTA_THRESHOLD + 1)`` histogram of the per-filter
+        FTA thresholds of each layer.
+    """
+
+    layers: Tuple[LayerShape, ...]
+    out_channels: np.ndarray
+    reduction: np.ndarray
+    output_positions: np.ndarray
+    activation_count: np.ndarray
+    weight_count: np.ndarray
+    macs: np.ndarray
+    input_active_columns: np.ndarray
+    storage_utilization: np.ndarray
+    binary_zero_ratio: np.ndarray
+    threshold_counts: np.ndarray
+
+    def __len__(self) -> int:
+        """Number of layers in the batch."""
+        return len(self.layers)
+
+    @classmethod
+    def from_profile(cls, profile: ModelSparsityProfile) -> "ProfileArrays":
+        """Flatten a model sparsity profile into aligned per-layer arrays.
+
+        Parameters
+        ----------
+        profile : ModelSparsityProfile
+            The profiled workload (see
+            :func:`repro.workloads.profiles.profile_model`).
+
+        Returns
+        -------
+        ProfileArrays
+            The structure-of-arrays view.
+
+        Raises
+        ------
+        ValueError
+            If a layer's per-filter threshold count does not match its
+            filter count, or any threshold lies outside
+            ``0..MAX_FTA_THRESHOLD`` (mirrors the scalar mapper's checks).
+        """
+        shapes = tuple(p.layer for p in profile.layers)
+        count = len(shapes)
+
+        def _ints(values: Iterable[int]) -> np.ndarray:
+            return np.fromiter(values, dtype=np.int64, count=count)
+
+        def _floats(values: Iterable[float]) -> np.ndarray:
+            return np.fromiter(values, dtype=np.float64, count=count)
+
+        threshold_counts = np.zeros(
+            (count, MAX_FTA_THRESHOLD + 1), dtype=np.int64
+        )
+        for index, layer_profile in enumerate(profile.layers):
+            thresholds = np.asarray(layer_profile.thresholds, dtype=np.int64)
+            if thresholds.size != layer_profile.layer.out_channels:
+                raise ValueError(
+                    f"expected {layer_profile.layer.out_channels} thresholds, "
+                    f"got {thresholds.size}"
+                )
+            if thresholds.size and (
+                thresholds.min() < 0 or thresholds.max() > MAX_FTA_THRESHOLD
+            ):
+                raise ValueError(
+                    f"FTA thresholds must lie in 0..{MAX_FTA_THRESHOLD}"
+                )
+            threshold_counts[index] = np.bincount(
+                thresholds, minlength=MAX_FTA_THRESHOLD + 1
+            )
+        return cls(
+            layers=shapes,
+            out_channels=_ints(s.out_channels for s in shapes),
+            reduction=_ints(s.reduction_size for s in shapes),
+            output_positions=_ints(s.output_positions for s in shapes),
+            activation_count=_ints(s.activation_count for s in shapes),
+            weight_count=_ints(s.weight_count for s in shapes),
+            macs=_ints(s.macs for s in shapes),
+            input_active_columns=_floats(
+                p.input_active_columns for p in profile.layers
+            ),
+            storage_utilization=_floats(
+                p.storage_utilization for p in profile.layers
+            ),
+            binary_zero_ratio=_floats(
+                p.weight_zero_bit_ratio_binary for p in profile.layers
+            ),
+            threshold_counts=threshold_counts,
+        )
+
+
+@dataclass(frozen=True)
+class BatchActivity:
+    """Per-layer activity and energy of one vectorized batch.
+
+    All arrays share one length (the number of layers in the batch) and are
+    aligned with the batch's layer order.
+
+    Attributes
+    ----------
+    cycles : numpy.ndarray
+        Bit-serial broadcast cycles per layer (``float64``).
+    cell_activations : numpy.ndarray
+        6T cells driven per layer over all cycles.
+    effective_cell_activations : numpy.ndarray
+        Cells doing useful work (the numerator of ``U_act``).
+    macs : numpy.ndarray
+        Multiply-accumulates per layer (``int64``; shape-derived).
+    energy : dict of str to numpy.ndarray
+        Per-layer energy of every
+        :class:`~repro.arch.energy.EnergyBreakdown` component, in pJ.
+    """
+
+    cycles: np.ndarray
+    cell_activations: np.ndarray
+    effective_cell_activations: np.ndarray
+    macs: np.ndarray
+    energy: Dict[str, np.ndarray]
+
+    def __len__(self) -> int:
+        """Number of layers in the batch."""
+        return int(self.cycles.size)
+
+
+def _ceil_div(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """Element-wise ceiling division of non-negative integers."""
+    return -(-numerator // denominator)
+
+
+def simulate_layers(
+    arrays: "ProfileArrays",
+    *,
+    rows: np.ndarray,
+    columns: np.ndarray,
+    input_bits: np.ndarray,
+    weight_bits: np.ndarray,
+    num_macros: np.ndarray,
+    weight_sparsity: np.ndarray,
+    input_sparsity: np.ndarray,
+    energy_model: EnergyModel,
+) -> BatchActivity:
+    """Simulate a batch of layers as one vectorized pass.
+
+    Evaluates, for every layer of the batch at once, the mapping decisions
+    of :func:`repro.compiler.mapping.map_layer` (threshold-grouped filter
+    iterations, input tiling, IPU-gated cycles per pass), the activity
+    accounting of :meth:`repro.sim.cycle_model.CycleModel.run_layer` and the
+    component energies of :meth:`repro.arch.energy.EnergyModel.layer_energy`
+    -- producing numbers bitwise identical to the scalar engine.
+
+    Parameters
+    ----------
+    arrays : ProfileArrays
+        The batch of layers (possibly a concatenation of several profiles).
+    rows, columns, input_bits, weight_bits, num_macros : numpy.ndarray
+        Per-layer hardware parameters (``int64``, broadcastable against the
+        batch length).  Passing them as arrays lets one batch span several
+        hardware configurations.
+    weight_sparsity, input_sparsity : numpy.ndarray
+        Per-layer boolean sparsity-support flags (the Fig. 7 variant each
+        layer is evaluated under).
+    energy_model : EnergyModel
+        Prices the activity counts (shared across the batch).
+
+    Returns
+    -------
+    BatchActivity
+        Per-layer cycles, cell activity and component energies.
+    """
+    out_channels = arrays.out_channels
+    weight_sparsity = np.asarray(weight_sparsity, dtype=bool)
+    input_sparsity = np.asarray(input_sparsity, dtype=bool)
+
+    # --- filter grouping (map_layer) -----------------------------------
+    # Sparse mode: filters are grouped by FTA threshold; a row of
+    # ``columns`` cells fits ``columns // max(φ_th, 1)`` filters.  The
+    # per-layer histogram turns the scalar per-unique-threshold loop into a
+    # closed-form sum over the 5 possible thresholds (empty bins add 0).
+    thresholds = np.arange(MAX_FTA_THRESHOLD + 1, dtype=np.int64)
+    per_macro = np.maximum(
+        np.asarray(columns, dtype=np.int64)[:, None]
+        // np.maximum(thresholds, 1)[None, :],
+        1,
+    )
+    per_pass = per_macro * np.asarray(num_macros, dtype=np.int64)[:, None]
+    iterations_sparse = np.maximum(
+        _ceil_div(arrays.threshold_counts, per_pass).sum(axis=1), 1
+    )
+    filters_per_pass_sparse = (
+        (per_pass * arrays.threshold_counts).sum(axis=1) / out_channels
+    )
+    # Dense mode: a row holds ``columns // weight_bits`` plain filters.
+    dense_per_pass = (columns // weight_bits) * num_macros
+    iterations_dense = _ceil_div(out_channels, dense_per_pass)
+
+    filter_iterations = np.where(
+        weight_sparsity, iterations_sparse, iterations_dense
+    )
+    # ``int()`` in the scalar mapping truncates the sparse average; the
+    # dense count is already integral, so one truncation covers both.
+    filters_per_pass = np.where(
+        weight_sparsity, filters_per_pass_sparse, dense_per_pass
+    ).astype(np.int64)
+
+    # --- bit-serial cycles per pass (IPU gating) -----------------------
+    cycles_per_pass = np.where(
+        input_sparsity,
+        np.clip(arrays.input_active_columns, 0.0, input_bits),
+        np.asarray(input_bits, dtype=np.float64),
+    )
+
+    # --- tiling and totals ---------------------------------------------
+    rows_used = np.minimum(arrays.reduction, rows)
+    input_tiles = _ceil_div(arrays.reduction, rows)
+    weights_per_pass_cells = columns * rows_used * num_macros
+    total_passes = filter_iterations * input_tiles * arrays.output_positions
+    cycles = total_passes * cycles_per_pass
+    cell_activations = cycles * weights_per_pass_cells
+
+    # --- effectiveness (U_act numerator) -------------------------------
+    # Sparse storage wastes only the FTA padding slots; dense storage
+    # wastes every zero bit of the binary weights.
+    effective = np.where(
+        weight_sparsity,
+        cell_activations * arrays.storage_utilization,
+        cell_activations * (1.0 - arrays.binary_zero_ratio),
+    )
+
+    # --- activity counts priced by the energy model --------------------
+    post_processing_ops = cycles * filters_per_pass
+    ipu_bits = arrays.activation_count * input_bits
+    meta_bytes = np.where(weight_sparsity, arrays.weight_count, 0)
+    feature_bytes = (
+        arrays.activation_count + out_channels * arrays.output_positions
+    )
+    energy = energy_model.layer_energy_arrays(
+        cycles=cycles,
+        cell_activations=cell_activations,
+        adder_tree_ops=cell_activations,
+        post_processing_ops=post_processing_ops,
+        ipu_bits=ipu_bits,
+        meta_rf_bytes=meta_bytes,
+        buffer_bytes=arrays.weight_count + feature_bytes,
+    )
+    return BatchActivity(
+        cycles=cycles,
+        cell_activations=cell_activations,
+        effective_cell_activations=effective,
+        macs=arrays.macs,
+        energy=energy,
+    )

@@ -1,0 +1,97 @@
+"""Edge cases of the text formatters: empty sweeps/rows and NaN metrics."""
+
+import math
+
+from repro.api.formatting import (
+    format_accuracy,
+    format_input_sparsity,
+    format_result,
+    format_speedup_energy,
+    format_sweep,
+    format_weight_sparsity,
+)
+from repro.api.results import (
+    AccuracyRow,
+    ExperimentResult,
+    InputSparsityRow,
+    SparsityBenefitRow,
+    SweepResult,
+    WeightSparsityRow,
+)
+
+
+class TestEmptyInputs:
+    def test_empty_sweep_renders_summary_only(self):
+        sweep = SweepResult(results=())
+        text = format_sweep(sweep)
+        assert "0 result(s)" in text
+        assert "0 hit(s)" in text and "0 miss(es)" in text
+
+    def test_empty_rows_render_headers_or_nothing(self):
+        # Header-only output for the fixed-column tables ...
+        assert format_weight_sparsity([]).splitlines() == [
+            format_weight_sparsity([]).splitlines()[0]
+        ]
+        assert format_speedup_energy([]).count("\n") == 0
+        assert format_accuracy([]).count("\n") == 0
+        # ... and nothing at all when the columns depend on the rows.
+        assert format_input_sparsity([]) == ""
+
+    def test_empty_experiment_result_formats(self):
+        result = ExperimentResult(experiment="fig7", rows=())
+        assert format_result(result).startswith("Model")
+        # An empty-result sweep still renders every section header.
+        sweep = SweepResult(results=(result,))
+        assert "--- fig7" in format_sweep(sweep)
+
+
+class TestNaNMetrics:
+    def test_nan_speedup_row_renders(self):
+        nan = float("nan")
+        row = SparsityBenefitRow(
+            model="alexnet",
+            speedup={"input": nan, "weight": nan, "hybrid": nan},
+            energy_saving={"input": nan, "weight": nan, "hybrid": nan},
+            utilization={"base": nan},
+        )
+        text = format_speedup_energy([row])
+        assert "alexnet" in text and "nan" in text
+
+    def test_nan_rows_round_trip_through_json(self):
+        nan = float("nan")
+        result = ExperimentResult(
+            experiment="fig2a",
+            rows=(
+                WeightSparsityRow(
+                    model="alexnet",
+                    binary_zero_ratio=nan,
+                    csd_zero_ratio=0.5,
+                    fta_zero_ratio=1.0,
+                ),
+            ),
+        )
+        restored = ExperimentResult.from_json(result.to_json())
+        assert math.isnan(restored.rows[0].binary_zero_ratio)
+        assert restored.rows[0].csd_zero_ratio == 0.5
+        assert "alexnet" in format_result(restored)
+
+    def test_nan_accuracy_drop_renders(self):
+        row = AccuracyRow(
+            model="vgg19",
+            float_accuracy=float("nan"),
+            int8_accuracy=float("nan"),
+            fta_accuracy=float("nan"),
+        )
+        assert math.isnan(row.accuracy_drop)
+        assert "vgg19" in format_accuracy([row])
+
+    def test_mixed_group_sizes_render_first_rows_columns(self):
+        rows = [
+            InputSparsityRow(model="alexnet", zero_column_ratio={1: 0.1, 8: 0.4}),
+            InputSparsityRow(
+                model="vgg19", zero_column_ratio={1: 0.2, 8: float("nan")}
+            ),
+        ]
+        text = format_input_sparsity(rows)
+        assert "group 1" in text and "group 8" in text
+        assert "nan" in text

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.arch.adder_tree import PostProcessingBank, PostProcessingUnit
 from repro.arch.area import AreaLibrary, AreaModel
 from repro.arch.buffers import Buffer, BufferSet
 from repro.arch.config import BufferConfig, DBPIMConfig
@@ -31,6 +32,26 @@ class TestBuffer:
             Buffer("bad", 0)
         with pytest.raises(ValueError):
             Buffer("test", 8).write(-1)
+
+    def test_batch_accounting_matches_sequential(self):
+        sequential = Buffer("seq", 64)
+        for count in (30, 50, 20):
+            sequential.write(count)
+        for count in (5, 7):
+            sequential.read(count)
+        batched = Buffer("batch", 64)
+        batched.write_batch(np.array([30, 50, 20]))
+        batched.read_batch(np.array([5, 7]))
+        assert batched.bytes_written == sequential.bytes_written == 100
+        assert batched.bytes_read == sequential.bytes_read == 12
+        assert batched.peak_occupancy == sequential.peak_occupancy == 64
+
+    def test_batch_rejects_negative_counts(self):
+        buffer = Buffer("test", 8)
+        with pytest.raises(ValueError):
+            buffer.read_batch(np.array([1, -1]))
+        with pytest.raises(ValueError):
+            buffer.write_batch(np.array([-1]))
 
     def test_buffer_set_matches_config(self):
         buffers = BufferSet(BufferConfig())
@@ -66,6 +87,60 @@ class TestSIMDCore:
     def test_invalid_lanes(self):
         with pytest.raises(ValueError):
             SIMDCore(lanes=0)
+
+    def test_postprocess_matches_chained_calls(self):
+        accumulators = np.array([1000, -500, 10, -3])
+        bias = np.array([0, 600, 0, 0])
+        chained = SIMDCore()
+        expected = chained.requantize(
+            chained.relu(chained.add(accumulators, bias)), 0.1
+        )
+        fused = SIMDCore()
+        result = fused.postprocess(accumulators, bias=bias, scale=0.1)
+        assert result.tolist() == expected.tolist()
+        assert fused.operations == chained.operations
+
+    def test_postprocess_optional_stages(self):
+        simd = SIMDCore()
+        # No bias, no ReLU: a single requantize's worth of operations.
+        result = simd.postprocess(
+            np.array([-100, 50]), apply_relu=False, scale=1.0
+        )
+        assert result.tolist() == [0, 50]  # clipping still applies
+        assert simd.operations == 2
+
+
+class TestPostProcessingBank:
+    def test_matches_scalar_units(self):
+        columns = np.array([[1, -2, 3], [4, 5, -6]])
+        positions = np.array([7, 2])
+        units = [PostProcessingUnit() for _ in range(3)]
+        for column, position in zip(columns, positions):
+            for unit, value in zip(units, column):
+                unit.accumulate(int(value), int(position))
+        bank = PostProcessingBank(3)
+        bank.accumulate_columns(columns, positions)
+        assert bank.shift_add_operations == sum(
+            unit.shift_add_operations for unit in units
+        )
+        assert bank.reset().tolist() == [unit.reset() for unit in units]
+        assert bank.accumulators.tolist() == [0, 0, 0]
+
+    def test_single_column_convenience(self):
+        bank = PostProcessingBank(2)
+        bank.accumulate(np.array([3, -1]), 4)
+        assert bank.reset().tolist() == [48, -16]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            PostProcessingBank(0)
+        bank = PostProcessingBank(2)
+        with pytest.raises(ValueError):
+            bank.accumulate_columns(np.zeros((1, 3), dtype=int), np.array([0]))
+        with pytest.raises(ValueError):
+            bank.accumulate_columns(np.zeros((1, 2), dtype=int), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            bank.accumulate_columns(np.zeros((1, 2), dtype=int), np.array([-1]))
 
 
 class TestEnergyModel:
