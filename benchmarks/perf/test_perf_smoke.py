@@ -1,9 +1,9 @@
-"""Smoke test of the perf harness: smallest preset, one model, 1 repeat.
+"""Smoke tests of the perf harnesses: smallest preset, one model, 1 repeat.
 
-Keeps the micro-benchmark runnable end-to-end inside the tier-1 suite (and
+Keeps the micro-benchmarks runnable end-to-end inside the tier-1 suite (and
 the CI benchmark job) without asserting absolute timings -- CI machines are
-too noisy for that; the committed ``BENCH_cycle_model.json`` snapshot is
-where the real perf trajectory lives.
+too noisy for that; the committed ``BENCH_cycle_model.json`` /
+``BENCH_compile.json`` snapshots are where the real perf trajectory lives.
 """
 
 from __future__ import annotations
@@ -12,11 +12,18 @@ import importlib.util
 import json
 from pathlib import Path
 
-_SPEC = importlib.util.spec_from_file_location(
-    "bench_cycle_model", Path(__file__).parent / "bench_cycle_model.py"
-)
-bench_cycle_model = importlib.util.module_from_spec(_SPEC)
-_SPEC.loader.exec_module(bench_cycle_model)
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, Path(__file__).parent / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_cycle_model = _load("bench_cycle_model")
+bench_compile = _load("bench_compile")
 
 
 def test_bench_emits_report(tmp_path):
@@ -44,4 +51,33 @@ def test_bench_rejects_bad_repeats(tmp_path, capsys):
 
     with pytest.raises(SystemExit):
         bench_cycle_model.main(["--repeats", "0"])
+    capsys.readouterr()
+
+
+def test_bench_compile_emits_report(tmp_path):
+    output = tmp_path / "BENCH_compile.json"
+    code = bench_compile.main(
+        [
+            "--preset", "paper-28nm",
+            "--models", "alexnet",
+            "--variant", "hybrid",
+            "--repeats", "1",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert report["benchmark"] == "compile"
+    assert report["preset"] == "paper-28nm"
+    entry = report["models"]["alexnet"]
+    assert entry["instructions"] > 0 and entry["segments"] > 0
+    assert entry["compile_s"] > 0 and entry["trace_s"] > 0
+    assert entry["max_relative_error"] <= 1e-4
+
+
+def test_bench_compile_rejects_bad_repeats(tmp_path, capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        bench_compile.main(["--repeats", "0"])
     capsys.readouterr()

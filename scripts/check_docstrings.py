@@ -1,4 +1,5 @@
-"""Fail if any public API of ``repro.api`` / ``repro.sim`` lacks a docstring.
+"""Fail if any public API of ``repro.api`` / ``repro.sim`` /
+``repro.compiler`` lacks a docstring.
 
 Run as part of the ``docs`` CI job (and locally before sending a PR):
 
@@ -18,7 +19,7 @@ import pkgutil
 import sys
 from typing import Iterator, List, Tuple
 
-PACKAGES = ("repro.api", "repro.sim")
+PACKAGES = ("repro.api", "repro.sim", "repro.compiler")
 
 
 def _iter_modules(package_name: str) -> Iterator[object]:

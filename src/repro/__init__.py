@@ -42,7 +42,7 @@ from .api import (
     run_sweep,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "api",

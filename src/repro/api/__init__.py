@@ -57,6 +57,7 @@ from .results import (
     ComparisonColumn,
     ExperimentResult,
     InputSparsityRow,
+    ProgramRow,
     SparsityBenefitRow,
     SparsitySupportRow,
     SweepResult,
@@ -90,6 +91,7 @@ __all__ = [
     "SweepResult",
     "WeightSparsityRow",
     "InputSparsityRow",
+    "ProgramRow",
     "SparsityBenefitRow",
     "SparsitySupportRow",
     "AccuracyRow",

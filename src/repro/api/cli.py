@@ -5,6 +5,9 @@ Three subcommands map the whole evaluation section onto the façade:
 * ``repro list`` -- registered experiments, workloads and config presets;
 * ``repro run fig7 --models resnet18 vgg19 --json out.json`` -- run one
   experiment and print its table (optionally dumping the typed result);
+  ``repro run program --engine trace`` compiles whole-model programs and
+  replays them on the trace simulator, cross-checked against the
+  analytical model;
 * ``repro sweep --experiments fig7 --max-workers 4 --cache-dir .cache`` --
   fan a grid out over workers with on-disk result caching.
 
@@ -25,7 +28,12 @@ from .experiment import Experiment, get_experiment_spec, list_experiments
 from .formatting import format_result, format_sweep
 from .sweep import build_grid, run_sweep
 
-__all__ = ["CLIError", "build_parser", "main"]
+__all__ = ["CLIError", "TRACE_ENGINE", "build_parser", "main"]
+
+#: Pseudo-engine accepted by ``repro run program``: the experiment replays
+#: the compiled program on the trace simulator (its analytical comparison
+#: columns use the default cycle-model engine).
+TRACE_ENGINE = "trace"
 
 
 class CLIError(Exception):
@@ -66,7 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one experiment and print its table"
     )
     run_parser.add_argument(
-        "experiment", help="experiment id (fig2a, fig2b, fig7, table1..table4)"
+        "experiment",
+        help="experiment id (fig2a, fig2b, fig7, table1..table4, program)",
     )
     run_parser.add_argument(
         "--models", nargs="+", default=None, metavar="MODEL",
@@ -78,9 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     run_parser.add_argument(
-        "--engine", choices=ENGINES, default=DEFAULT_ENGINE,
+        "--engine", choices=tuple(ENGINES) + (TRACE_ENGINE,),
+        default=DEFAULT_ENGINE,
         help="cycle-model engine (vectorized NumPy batch kernel, or the "
-        "scalar per-layer reference; identical numbers)",
+        "scalar per-layer reference; identical numbers). 'trace' replays "
+        "the compiled whole-model program and is only valid for the "
+        "'program' experiment",
     )
     run_parser.add_argument(
         "--epochs", type=int, default=None,
@@ -191,8 +203,18 @@ def _command_run(args: argparse.Namespace) -> int:
                     f"experiment {spec.id!r} does not take --{name.replace('_', '-')}"
                 )
             params[name] = value
+    engine = args.engine
+    if engine == TRACE_ENGINE:
+        if spec.id != "program":
+            raise CLIError(
+                "--engine trace replays the compiled program and is only "
+                "valid for the 'program' experiment"
+            )
+        # The program experiment always runs the trace simulator; its
+        # analytical comparison columns use the default engine.
+        engine = DEFAULT_ENGINE
     session = _validate(
-        Experiment, config=args.config, seed=args.seed, engine=args.engine
+        Experiment, config=args.config, seed=args.seed, engine=engine
     )
     if "models" in params:
         params["models"] = _validate(session._resolve_models, params["models"])

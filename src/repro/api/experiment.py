@@ -32,6 +32,7 @@ import numpy as np
 from ..arch.accelerator import DBPIMAccelerator, LayerExecutionResult
 from ..arch.area import AreaModel
 from ..arch.config import DBPIMConfig
+from ..compiler.pipeline import CompiledModel, compile_model
 from ..core.fta import FTAConfig
 from ..core.quantization import quantize_weights
 from ..core.sparsity import analyze_input_sparsity, analyze_weight_sparsity
@@ -48,6 +49,7 @@ from ..sim.cycle_model import (
     SPARSITY_VARIANTS,
 )
 from ..sim.metrics import SystemMetrics, compute_metrics
+from ..sim.trace import ProgramTrace, TraceSimulator, relative_cycle_error
 from ..workloads.models import get_workload, list_workloads
 from ..workloads.profiles import (
     ModelSparsityProfile,
@@ -65,6 +67,7 @@ from .results import (
     ComparisonColumn,
     ExperimentResult,
     InputSparsityRow,
+    ProgramRow,
     SparsityBenefitRow,
     SparsitySupportRow,
     WeightSparsityRow,
@@ -180,6 +183,14 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             title="area breakdown of DB-PIM",
             runner="area",
         ),
+        ExperimentSpec(
+            id="program",
+            reference="compiled path",
+            title="whole-model compiled programs replayed on the trace "
+            "simulator vs the analytical cycle model",
+            runner="program_report",
+            takes_models=True,
+        ),
     )
 }
 
@@ -238,6 +249,7 @@ class Experiment:
         self.area_model = AreaModel()
         self._profiles: Dict[str, ModelSparsityProfile] = {}
         self._dataset: Optional[SyntheticImageDataset] = None
+        self._compiled: Dict[Tuple[str, str], CompiledModel] = {}
 
     def __repr__(self) -> str:
         return (
@@ -402,6 +414,33 @@ class Experiment:
         return compute_metrics(
             self.run_model(model, variant), self.config, self.area_model
         )
+
+    # ------------------------------------------------------------------
+    # Compiled path: whole-model programs + trace simulation
+    # ------------------------------------------------------------------
+    def compile_model(
+        self, model: str, variant: str = "hybrid"
+    ) -> CompiledModel:
+        """Compile one workload into a whole-model segmented program.
+
+        Runs the pass-based pipeline
+        (:func:`repro.compiler.pipeline.compile_model`) on the session's
+        cached sparsity profile; results are memoised per (model, variant).
+
+        Args:
+            model: workload name.
+            variant: one of :data:`~repro.sim.cycle_model.SPARSITY_VARIANTS`.
+        """
+        key = (str(model).lower(), str(variant))
+        if key not in self._compiled:
+            self._compiled[key] = compile_model(
+                self.profile(model), config=self.config, variant=variant
+            )
+        return self._compiled[key]
+
+    def trace_model(self, model: str, variant: str = "hybrid") -> ProgramTrace:
+        """Compile one workload and replay it on the trace simulator."""
+        return TraceSimulator(self.config).run(self.compile_model(model, variant))
 
     def execute_linear(
         self,
@@ -669,6 +708,64 @@ class Experiment:
         rows.append(
             AreaRow(module="Total", area_mm2=breakdown.total_mm2, breakdown=1.0)
         )
+        return rows
+
+    # ------------------------------------------------------------------
+    # "program" -- compiled whole-model programs vs the analytical model
+    # ------------------------------------------------------------------
+    def program_report(
+        self, models: Optional[Sequence[str]] = None
+    ) -> List[ProgramRow]:
+        """The ``program`` experiment: compile, replay and cross-check.
+
+        For every requested workload and every Fig. 7 variant, compiles the
+        whole-model program through the pass pipeline, replays it on the
+        trace simulator and compares the traced broadcast cycles against
+        the analytical cycle model (evaluated in one batched pass).
+
+        Args:
+            models: workload names (``None`` for all five paper models).
+
+        Returns:
+            One :class:`~repro.api.results.ProgramRow` per model, carrying
+            per-variant instruction/segment counts, traced vs analytical
+            cycles, scheduled cycles and the worst relative error.
+        """
+        names = self._resolve_models(models)
+        simulator = TraceSimulator(self.config)
+        batch = self.run_batch(models=names)
+        rows: List[ProgramRow] = []
+        for name in names:
+            instructions: Dict[str, int] = {}
+            segments: Dict[str, int] = {}
+            trace_cycles: Dict[str, float] = {}
+            analytical_cycles: Dict[str, float] = {}
+            scheduled_cycles: Dict[str, float] = {}
+            hidden_fraction: Dict[str, float] = {}
+            worst = 0.0
+            for variant in SPARSITY_VARIANTS:
+                compiled = self.compile_model(name, variant)
+                trace = simulator.run(compiled)
+                performance = batch[name][variant]
+                instructions[variant] = len(compiled.program)
+                segments[variant] = len(compiled.program.segments)
+                trace_cycles[variant] = trace.compute_cycles
+                analytical_cycles[variant] = performance.total_cycles
+                scheduled_cycles[variant] = trace.total_cycles
+                hidden_fraction[variant] = trace.breakdown.hidden_fraction
+                worst = max(worst, relative_cycle_error(trace, performance))
+            rows.append(
+                ProgramRow(
+                    model=name,
+                    instructions=instructions,
+                    segments=segments,
+                    trace_cycles=trace_cycles,
+                    analytical_cycles=analytical_cycles,
+                    scheduled_cycles=scheduled_cycles,
+                    hidden_fraction=hidden_fraction,
+                    max_relative_error=worst,
+                )
+            )
         return rows
 
     # ------------------------------------------------------------------

@@ -11,12 +11,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Sequence
 
+from ..arch.config import SPARSITY_VARIANTS
 from .results import (
     AccuracyRow,
     AreaRow,
     ComparisonColumn,
     ExperimentResult,
     InputSparsityRow,
+    ProgramRow,
     SparsityBenefitRow,
     SparsitySupportRow,
     SweepResult,
@@ -31,6 +33,7 @@ __all__ = [
     "format_accuracy",
     "format_comparison",
     "format_area",
+    "format_program",
     "format_result",
     "format_sweep",
 ]
@@ -143,6 +146,39 @@ def format_area(rows: Sequence[AreaRow]) -> str:
     return "\n".join(lines)
 
 
+def format_program(rows: Sequence[ProgramRow]) -> str:
+    """Render the compiled-program experiment as aligned text.
+
+    One line per (model, variant): program size, trace vs analytical
+    broadcast cycles, the scheduled total and the overlap-hidden fraction;
+    the model's worst relative error is printed on its ``hybrid`` line.
+    """
+    header = (
+        f"{'Model':<16}{'variant':>8}{'instr':>9}{'segs':>6}"
+        f"{'trace Mcyc':>12}{'model Mcyc':>12}{'sched Mcyc':>12}"
+        f"{'hidden':>8}{'max err':>10}"
+    )
+    lines = [header]
+    for row in rows:
+        # Canonical variant order regardless of dict key order (JSON
+        # round-trips through the sweep cache sort mapping keys).
+        variants = [v for v in SPARSITY_VARIANTS if v in row.trace_cycles]
+        variants += [v for v in row.trace_cycles if v not in SPARSITY_VARIANTS]
+        for variant in variants:
+            error = (
+                f"{row.max_relative_error:>10.1e}" if variant == "hybrid" else f"{'':>10}"
+            )
+            lines.append(
+                f"{row.model:<16}{variant:>8}{row.instructions[variant]:>9}"
+                f"{row.segments[variant]:>6}"
+                f"{row.trace_cycles[variant] / 1e6:>12.3f}"
+                f"{row.analytical_cycles[variant] / 1e6:>12.3f}"
+                f"{row.scheduled_cycles[variant] / 1e6:>12.3f}"
+                f"{row.hidden_fraction[variant]:>8.1%}{error}"
+            )
+    return "\n".join(lines)
+
+
 _FORMATTERS: Dict[str, Callable[[Sequence], str]] = {
     "fig2a": format_weight_sparsity,
     "fig2b": format_input_sparsity,
@@ -151,6 +187,7 @@ _FORMATTERS: Dict[str, Callable[[Sequence], str]] = {
     "table2": format_accuracy,
     "table3": format_comparison,
     "table4": format_area,
+    "program": format_program,
 }
 
 

@@ -33,6 +33,7 @@ __all__ = [
     "AccuracyRow",
     "ComparisonColumn",
     "AreaRow",
+    "ProgramRow",
     "PRIOR_WORK_ROWS",
     "PRIOR_WORK_COLUMNS",
     "ROW_TYPES",
@@ -134,6 +135,40 @@ class AreaRow:
     breakdown: float
 
 
+@dataclass(frozen=True)
+class ProgramRow:
+    """Compiled-program summary of one workload (the ``program`` experiment).
+
+    Every dict field is keyed by Fig. 7 variant name (``"base"``,
+    ``"input"``, ``"weight"``, ``"hybrid"``).
+
+    Attributes:
+        model: workload name.
+        instructions: encoded instructions of the whole-model program.
+        segments: instruction-buffer refills of the program.
+        trace_cycles: broadcast cycles measured by replaying the program on
+            the trace simulator.
+        analytical_cycles: broadcast cycles of the analytical cycle model
+            (the cross-check reference).
+        scheduled_cycles: trace cycles including the non-hidden
+            load/SIMD/write-back work the analytical model does not price.
+        hidden_fraction: fraction of serial cycles the overlap scheduler
+            hides (double buffering + hoisted prefetch).
+        max_relative_error: worst ``|trace - analytical| / analytical``
+            over the four variants (contractually below
+            :data:`repro.sim.trace.TRACE_TOLERANCE`).
+    """
+
+    model: str
+    instructions: Dict[str, int]
+    segments: Dict[str, int]
+    trace_cycles: Dict[str, float]
+    analytical_cycles: Dict[str, float]
+    scheduled_cycles: Dict[str, float]
+    hidden_fraction: Dict[str, float]
+    max_relative_error: float
+
+
 #: Literature rows of Table 1.
 PRIOR_WORK_ROWS = (
     SparsitySupportRow("Yue et al. [12]", "value", "W", False, False, "Zero W+V"),
@@ -196,6 +231,7 @@ ROW_TYPES: Dict[str, type] = {
     "table2": AccuracyRow,
     "table3": ComparisonColumn,
     "table4": AreaRow,
+    "program": ProgramRow,
 }
 
 #: Row dict fields whose keys are integers (JSON stringifies mapping keys,

@@ -51,7 +51,15 @@ __all__ = [
 
 #: Experiments included in a sweep by default: everything except the
 #: training-based accuracy study (minutes-scale; opt in explicitly).
-DEFAULT_SWEEP_EXPERIMENTS = ("fig2a", "fig2b", "fig7", "table1", "table3", "table4")
+DEFAULT_SWEEP_EXPERIMENTS = (
+    "fig2a",
+    "fig2b",
+    "fig7",
+    "table1",
+    "table3",
+    "table4",
+    "program",
+)
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Tuple
 
-__all__ = ["MacroConfig", "BufferConfig", "ClockConfig", "DBPIMConfig"]
+__all__ = [
+    "SPARSITY_VARIANTS",
+    "MacroConfig",
+    "BufferConfig",
+    "ClockConfig",
+    "DBPIMConfig",
+]
+
+#: The four sparsity configurations of Fig. 7, in plotting order (the
+#: canonical definition; :mod:`repro.sim.cycle_model` re-exports it).
+SPARSITY_VARIANTS = ("base", "input", "weight", "hybrid")
 
 
 @dataclass(frozen=True)
@@ -174,3 +184,25 @@ class DBPIMConfig:
     def input_sparsity_only(self) -> "DBPIMConfig":
         """Baseline macro mapping but with IPU input-bit skipping enabled."""
         return replace(self, weight_sparsity=False, input_sparsity=True)
+
+    def for_variant(self, variant: str) -> "DBPIMConfig":
+        """This configuration with one Fig. 7 variant's sparsity flags.
+
+        Args:
+            variant: one of :data:`SPARSITY_VARIANTS` (``"hybrid"`` returns
+                the configuration unchanged).
+
+        Raises:
+            ValueError: for an unknown variant name.
+        """
+        if variant == "base":
+            return self.dense_baseline()
+        if variant == "input":
+            return self.input_sparsity_only()
+        if variant == "weight":
+            return self.weight_sparsity_only()
+        if variant == "hybrid":
+            return self
+        raise ValueError(
+            f"unknown variant {variant!r}; expected one of {SPARSITY_VARIANTS}"
+        )

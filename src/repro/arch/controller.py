@@ -3,29 +3,56 @@
 The top controller of the paper fetches instructions from the instruction
 buffer and dispatches control signals to the IPU, the PIM core and the SIMD
 core.  This functional model consumes a :class:`repro.compiler.isa.Program`,
-checks it against the instruction buffer capacity, tallies the work each
-unit is asked to perform and produces the cycle estimate implied by the
-stream -- the link between the compiler's static schedule and the
-cycle-level performance model.
+checks it against the instruction buffer capacity (per segment for
+segmented whole-model programs), tallies the work each unit is asked to
+perform -- broadcast cycles in Q16.16 fixed point, load/store byte traffic,
+buffer-occupancy high-water marks -- and produces the cycle estimate
+implied by the stream: the link between the compiler's static schedule and
+the cycle-level performance model (the trace simulator in
+:mod:`repro.sim.trace` builds directly on it).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Deque, Dict, Optional
 
-from ..compiler.isa import Opcode, Program
+from collections import deque
+
+from ..compiler.isa import CYCLE_SCALE, Opcode, Program
+from ..compiler.schedule import DEFAULT_BYTES_PER_CYCLE, TransferModel
 from .config import DBPIMConfig
 
-__all__ = ["DispatchSummary", "TopController"]
+__all__ = ["DEFAULT_SIMD_LANES", "DispatchSummary", "TopController"]
+
+#: Elements the SIMD core retires per cycle in the controller's (and the
+#: trace simulator's) tail model.
+DEFAULT_SIMD_LANES = 16
 
 
 @dataclass
 class DispatchSummary:
-    """Work dispatched while executing one program."""
+    """Work dispatched while executing one program.
+
+    Attributes:
+        instructions: encoded instructions walked.
+        broadcast_cycles_q16: accumulated broadcast cycles in Q16.16 fixed
+            point (see :data:`repro.compiler.isa.CYCLE_SCALE`).
+        macro_invocations: macro compute dispatches (repeats expanded).
+        weight_loads / metadata_loads / feature_loads: load dispatches.
+        accumulations: accumulate dispatches (repeats expanded).
+        simd_elements / write_back_elements: element counts of the tails.
+        weight_bytes / metadata_bytes / feature_bytes / write_back_bytes:
+            byte traffic of each stream (repeats expanded).
+        peak_weight_buffer_bytes / peak_meta_buffer_bytes /
+        peak_feature_buffer_bytes: buffer-occupancy high-water marks
+            (loads accumulate, a tile's features retire at its accumulate,
+            barriers retire an iteration's weights/metadata).
+        opcode_counts: encoded instructions per opcode name.
+    """
 
     instructions: int = 0
-    broadcast_cycles: int = 0
+    broadcast_cycles_q16: int = 0
     macro_invocations: int = 0
     weight_loads: int = 0
     metadata_loads: int = 0
@@ -33,16 +60,61 @@ class DispatchSummary:
     accumulations: int = 0
     simd_elements: int = 0
     write_back_elements: int = 0
+    weight_bytes: int = 0
+    metadata_bytes: int = 0
+    feature_bytes: int = 0
+    write_back_bytes: int = 0
+    peak_weight_buffer_bytes: int = 0
+    peak_meta_buffer_bytes: int = 0
+    peak_feature_buffer_bytes: int = 0
     opcode_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
-    def estimated_compute_cycles(self) -> int:
+    def broadcast_cycles(self) -> float:
+        """Accumulated bit-serial broadcast cycles (fixed point resolved)."""
+        return self.broadcast_cycles_q16 / CYCLE_SCALE
+
+    @property
+    def estimated_compute_cycles(self) -> float:
         """Cycles implied by the broadcast instructions alone."""
         return self.broadcast_cycles
 
+    def busy_cycles(
+        self,
+        bytes_per_cycle: int = DEFAULT_BYTES_PER_CYCLE,
+        simd_lanes: int = DEFAULT_SIMD_LANES,
+    ) -> Dict[str, float]:
+        """Per-unit busy cycles implied by the dispatched work.
+
+        Args:
+            bytes_per_cycle: on-chip bus width pricing the load/store byte
+                traffic (defaults to the shared
+                :data:`repro.compiler.schedule.DEFAULT_BYTES_PER_CYCLE`
+                and is priced through
+                :class:`repro.compiler.schedule.TransferModel`).
+            simd_lanes: elements the SIMD core processes per cycle
+                (defaults to :data:`DEFAULT_SIMD_LANES`).
+
+        Returns:
+            Mapping of unit name (``"macro"``, ``"dma_weight"``,
+            ``"dma_metadata"``, ``"dma_feature"``, ``"simd"``,
+            ``"write_back"``) to busy cycles.
+        """
+        if simd_lanes <= 0:
+            raise ValueError("simd_lanes must be positive")
+        transfer = TransferModel(bytes_per_cycle=bytes_per_cycle)
+        return {
+            "macro": self.broadcast_cycles,
+            "dma_weight": transfer.cycles(self.weight_bytes),
+            "dma_metadata": transfer.cycles(self.metadata_bytes),
+            "dma_feature": transfer.cycles(self.feature_bytes),
+            "simd": -(-self.simd_elements // simd_lanes),
+            "write_back": transfer.cycles(self.write_back_bytes),
+        }
+
 
 class TopController:
-    """Functional dispatcher for compiled layer programs."""
+    """Functional dispatcher for compiled layer and whole-model programs."""
 
     def __init__(self, config: Optional[DBPIMConfig] = None) -> None:
         self.config = config or DBPIMConfig()
@@ -50,11 +122,28 @@ class TopController:
     def check_program(self, program: Program) -> None:
         """Validate that a program fits the instruction buffer.
 
+        Segmented programs (whole-model output of the pass pipeline) are
+        checked one segment at a time -- a segment is exactly one buffer
+        refill; flat programs must fit in a single refill.
+
         Raises:
-            ValueError: if the encoded program exceeds the buffer capacity.
+            ValueError: naming the offending segment (index, label, sizes)
+                or, for flat programs, the whole-program overflow.
         """
-        size = program.size_bytes()
         capacity = self.config.buffers.instruction_buffer
+        segments = getattr(program, "segments", ())
+        if segments:
+            for index, segment in enumerate(segments):
+                size = segment.size_bytes()
+                if size > capacity:
+                    raise ValueError(
+                        f"segment {index} ({segment.name!r}, "
+                        f"{segment.num_instructions} instructions, {size} "
+                        f"bytes) exceeds the {capacity}-byte instruction "
+                        f"buffer"
+                    )
+            return
+        size = program.size_bytes()
         if size > capacity:
             raise ValueError(
                 f"program needs {size} bytes but the instruction buffer "
@@ -66,38 +155,74 @@ class TopController:
 
         ``repeats`` operands (used by the code generator to avoid unrolling
         every output position) multiply the work of the instruction they
-        annotate.
+        annotate.  Broadcast instructions may carry their cycle count as the
+        legacy integer ``cycles`` operand or the Q16.16 ``cycles_q16`` form
+        (preferred when both are present).
         """
         self.check_program(program)
         summary = DispatchSummary()
+        counts = summary.opcode_counts
+        weight_level = 0
+        meta_level = 0
+        feature_level = 0
+        pending_features: Deque[int] = deque()
         for instruction in program:
-            repeats_operand = instruction.operand("repeats")
-            repeats = 1 if repeats_operand is None else int(repeats_operand)
+            operands = instruction.operands
+            repeats = int(operands.get("repeats", 1))
             if repeats < 1:
                 raise ValueError("instruction repeat counts must be >= 1")
             summary.instructions += 1
-            name = instruction.opcode.value
-            summary.opcode_counts[name] = summary.opcode_counts.get(name, 0) + 1
-            if instruction.opcode is Opcode.LOAD_WEIGHTS:
-                summary.weight_loads += 1
-            elif instruction.opcode is Opcode.LOAD_METADATA:
-                summary.metadata_loads += 1
-            elif instruction.opcode is Opcode.LOAD_FEATURES:
-                summary.feature_loads += repeats
-            elif instruction.opcode is Opcode.BROADCAST:
-                cycles = int(instruction.operand("cycles", 0) or 0)
-                if cycles < 0:
+            opcode = instruction.opcode
+            name = opcode.value
+            counts[name] = counts.get(name, 0) + 1
+            if opcode is Opcode.BROADCAST:
+                cycles_q16 = operands.get("cycles_q16")
+                if cycles_q16 is None:
+                    cycles_q16 = int(operands.get("cycles", 0) or 0) * CYCLE_SCALE
+                if cycles_q16 < 0:
                     raise ValueError("broadcast cycle counts must be non-negative")
-                summary.broadcast_cycles += cycles * repeats
-            elif instruction.opcode is Opcode.MACRO_COMPUTE:
+                summary.broadcast_cycles_q16 += cycles_q16 * repeats
+            elif opcode is Opcode.MACRO_COMPUTE:
                 summary.macro_invocations += repeats
-            elif instruction.opcode is Opcode.ACCUMULATE:
+            elif opcode is Opcode.ACCUMULATE:
                 summary.accumulations += repeats
-            elif instruction.opcode is Opcode.SIMD_OP:
-                summary.simd_elements += int(instruction.operand("elements", 0) or 0)
-            elif instruction.opcode is Opcode.WRITE_BACK:
-                summary.write_back_elements += int(
-                    instruction.operand("elements", 0) or 0
+                if pending_features:
+                    feature_level -= pending_features.popleft()
+            elif opcode is Opcode.LOAD_FEATURES:
+                payload = int(operands.get("bytes", 0) or 0)
+                summary.feature_loads += repeats
+                summary.feature_bytes += payload * repeats
+                feature_level += payload
+                pending_features.append(payload)
+                if feature_level > summary.peak_feature_buffer_bytes:
+                    summary.peak_feature_buffer_bytes = feature_level
+            elif opcode is Opcode.LOAD_WEIGHTS:
+                payload = int(operands.get("bytes", 0) or 0)
+                summary.weight_loads += 1
+                summary.weight_bytes += payload
+                weight_level += payload
+                if weight_level > summary.peak_weight_buffer_bytes:
+                    summary.peak_weight_buffer_bytes = weight_level
+            elif opcode is Opcode.LOAD_METADATA:
+                payload = int(operands.get("bytes", 0) or 0)
+                summary.metadata_loads += 1
+                summary.metadata_bytes += payload
+                meta_level += payload
+                if meta_level > summary.peak_meta_buffer_bytes:
+                    summary.peak_meta_buffer_bytes = meta_level
+            elif opcode is Opcode.SIMD_OP:
+                summary.simd_elements += int(operands.get("elements", 0) or 0)
+            elif opcode is Opcode.WRITE_BACK:
+                elements = int(operands.get("elements", 0) or 0)
+                summary.write_back_elements += elements
+                summary.write_back_bytes += int(
+                    operands.get("bytes", elements) or 0
                 )
-            # BARRIER instructions only order the stream; nothing to tally.
+            elif opcode is Opcode.BARRIER:
+                # An iteration boundary: its weights/metadata retire and any
+                # still-pending feature tiles are consumed.
+                weight_level = 0
+                meta_level = 0
+                feature_level = 0
+                pending_features.clear()
         return summary

@@ -1,8 +1,47 @@
-"""Offline compilation: weight transformation, dataflow mapping, codegen."""
+"""Offline compilation: weight transform, pass-based pipeline, codegen.
 
-from .codegen import generate_layer_program, generate_program_from_mapping
-from .isa import Instruction, Opcode, Program
-from .mapping import LayerMapping, map_layer
+The compiler has two entry layers:
+
+* the **whole-model pipeline** (:func:`compile_model`): lower a profiled
+  workload into a per-layer IR, run the ordered pass list (threshold
+  assignment, tiling, overlap scheduling, instruction-buffer splitting)
+  and emit one segmented :class:`Program` for the entire network;
+* the **single-layer helpers** (:func:`map_layer`,
+  :func:`generate_layer_program`): the historical per-layer front door,
+  kept as thin wrappers.
+"""
+
+from .codegen import emit_module, generate_layer_program, generate_program_from_mapping
+from .isa import CYCLE_SCALE, Instruction, Opcode, Program, ProgramSegment
+from .mapping import MAX_FTA_THRESHOLD, LayerMapping, map_layer
+from .passes import (
+    MappingPass,
+    OverlapPass,
+    SplitPass,
+    ThresholdAssignmentPass,
+)
+from .pipeline import (
+    CompilationError,
+    CompiledLayerInfo,
+    CompiledModel,
+    CompilerPass,
+    LayerIR,
+    ModuleIR,
+    PassManager,
+    compile_model,
+    default_passes,
+    lower_model,
+)
+from .schedule import (
+    BYTES_PER_INSTRUCTION,
+    DEFAULT_BYTES_PER_CYCLE,
+    OverlapDecision,
+    ProgramSplitError,
+    SegmentPlan,
+    TransferModel,
+    decide_overlap,
+    plan_layer_segments,
+)
 from .weight_transform import (
     CompressedFilter,
     CompressedLayer,
@@ -15,11 +54,37 @@ __all__ = [
     "CompressedLayer",
     "compress_filter",
     "compress_layer",
+    "CYCLE_SCALE",
     "Instruction",
     "Opcode",
     "Program",
+    "ProgramSegment",
+    "MAX_FTA_THRESHOLD",
     "LayerMapping",
     "map_layer",
+    "emit_module",
     "generate_layer_program",
     "generate_program_from_mapping",
+    "CompilationError",
+    "CompilerPass",
+    "PassManager",
+    "LayerIR",
+    "ModuleIR",
+    "CompiledLayerInfo",
+    "CompiledModel",
+    "compile_model",
+    "default_passes",
+    "lower_model",
+    "ThresholdAssignmentPass",
+    "MappingPass",
+    "OverlapPass",
+    "SplitPass",
+    "BYTES_PER_INSTRUCTION",
+    "DEFAULT_BYTES_PER_CYCLE",
+    "TransferModel",
+    "OverlapDecision",
+    "SegmentPlan",
+    "ProgramSplitError",
+    "decide_overlap",
+    "plan_layer_segments",
 ]

@@ -1,34 +1,164 @@
-"""Instruction generation from a layer mapping.
+"""Instruction emission: from scheduled IR (or one mapping) to programs.
 
-The code generator walks the static mapping of a layer and emits the
-instruction stream the top controller would dispatch: weight/metadata loads
-per filter iteration, feature loads and broadcast/compute/accumulate steps
-per pass, and a final write-back per output tile.  The stream is coarse
-grained (one instruction per architectural step) but is sufficient to check
-instruction-buffer sizing and gives the examples something concrete to show.
+Two emitters live here:
+
+* :func:`emit_module` -- the whole-model backend of the pass pipeline
+  (:func:`repro.compiler.pipeline.compile_model`).  It walks the scheduled
+  :class:`~repro.compiler.pipeline.ModuleIR` and emits one segmented
+  :class:`~repro.compiler.isa.Program` for the entire network: hoisted
+  weight-load prologues, per-iteration compute chunks built once and
+  replicated C-side, byte-payload operands for the trace simulator's
+  buffer/DMA accounting, and Q16.16 ``cycles_q16`` broadcast operands that
+  carry the analytical model's fractional cycles-per-pass exactly.
+* :func:`generate_program_from_mapping` / :func:`generate_layer_program` --
+  the historical single-layer front door, kept as a thin wrapper for
+  callers that want one layer's stream without building a profile.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..arch.config import DBPIMConfig
 from ..workloads.layers import LayerShape
-from .isa import Opcode, Program
+from .isa import CYCLE_SCALE, Instruction, Opcode, Program
 from .mapping import LayerMapping, map_layer
+from .schedule import layer_transfer_bytes
 
-__all__ = ["generate_layer_program", "generate_program_from_mapping"]
+__all__ = [
+    "emit_module",
+    "generate_layer_program",
+    "generate_program_from_mapping",
+]
+
+
+def _emit_layer(
+    program: Program,
+    node,
+    config: DBPIMConfig,
+    segment_base: int,
+) -> Tuple[Tuple[int, ...], int]:
+    """Emit one scheduled layer; returns (segment indices, instructions)."""
+    mapping: LayerMapping = node.mapping
+    layer = mapping.layer
+    transfers = layer_transfer_bytes(mapping, config)
+    positions = mapping.output_positions
+    tiles = mapping.input_tiles
+    cycles_q16 = int(round(mapping.cycles_per_pass * CYCLE_SCALE))
+
+    load_pair: List[Instruction] = [
+        program.intern(
+            Opcode.LOAD_WEIGHTS,
+            bytes=transfers.weight_bytes_per_iteration,
+            filters=layer.out_channels,
+        )
+    ]
+    if config.weight_sparsity:
+        load_pair.append(
+            program.intern(
+                Opcode.LOAD_METADATA,
+                bytes=transfers.metadata_bytes_per_iteration,
+            )
+        )
+    tile_body: List[Instruction] = [
+        program.intern(
+            Opcode.LOAD_FEATURES,
+            bytes=transfers.feature_bytes_per_tile,
+            repeats=positions,
+        ),
+        program.intern(
+            Opcode.BROADCAST,
+            cycles=int(round(mapping.cycles_per_pass)),
+            cycles_q16=cycles_q16,
+            repeats=positions,
+        ),
+        program.intern(
+            Opcode.MACRO_COMPUTE,
+            filters=mapping.filters_per_pass,
+            repeats=positions,
+        ),
+        program.intern(Opcode.ACCUMULATE, repeats=positions),
+    ]
+    barrier = [program.intern(Opcode.BARRIER)]
+    compute_chunk = tile_body * tiles + barrier
+    streamed_chunk = load_pair + compute_chunk
+    epilogue = [
+        program.intern(Opcode.SIMD_OP, elements=transfers.output_bytes),
+        program.intern(
+            Opcode.WRITE_BACK,
+            elements=transfers.output_bytes,
+            bytes=transfers.output_bytes,
+        ),
+    ]
+
+    start_length = len(program)
+    indices: List[int] = []
+    for plan in node.segment_plan:
+        program.open_segment(
+            f"{layer.name}[{plan.start_iteration}:{plan.stop_iteration}]",
+            layer=layer.name,
+        )
+        if plan.hoisted_iterations:
+            program.append_block(load_pair, times=plan.hoisted_iterations)
+        chunk = compute_chunk if node.overlap.hoist_weight_loads else streamed_chunk
+        program.append_block(chunk, times=plan.iterations)
+        if plan.epilogue:
+            program.append_block(epilogue)
+        if program.close_segment() is not None:
+            indices.append(segment_base + len(indices))
+    return tuple(indices), len(program) - start_length
+
+
+def emit_module(module) -> Tuple[Program, List]:
+    """Emit the whole-model program of a scheduled module.
+
+    Args:
+        module: a :class:`~repro.compiler.pipeline.ModuleIR` whose layers
+            carry ``mapping``, ``overlap`` and ``segment_plan``.
+
+    Returns:
+        The segmented :class:`Program` and the per-layer
+        :class:`~repro.compiler.pipeline.CompiledLayerInfo` records.
+    """
+    from .pipeline import CompiledLayerInfo
+
+    program = Program()
+    infos: List[CompiledLayerInfo] = []
+    for node in module.layers:
+        indices, count = _emit_layer(
+            program, node, module.config, segment_base=len(program.segments)
+        )
+        mapping = node.mapping
+        infos.append(
+            CompiledLayerInfo(
+                name=node.layer.name,
+                filter_iterations=mapping.filter_iterations,
+                input_tiles=mapping.input_tiles,
+                output_positions=mapping.output_positions,
+                cycles_per_pass_q16=int(
+                    round(mapping.cycles_per_pass * CYCLE_SCALE)
+                ),
+                hoisted=node.overlap.hoist_weight_loads,
+                double_buffered=node.overlap.double_buffer_features,
+                segment_indices=indices,
+                instructions=count,
+            )
+        )
+    return program, infos
 
 
 def generate_program_from_mapping(mapping: LayerMapping) -> Program:
-    """Emit the instruction stream of one mapped layer.
+    """Emit the instruction stream of one mapped layer (flat, unsegmented).
 
     To keep programs small for very large layers, per-pass instructions are
     emitted once per (filter iteration, input tile) with a repeat count for
-    the output positions rather than unrolling every output pixel.
+    the output positions rather than unrolling every output pixel.  The
+    broadcast instructions carry both the legacy rounded ``cycles`` operand
+    and the exact Q16.16 ``cycles_q16`` form.
     """
     program = Program()
     layer = mapping.layer
+    cycles_q16 = int(round(mapping.cycles_per_pass * CYCLE_SCALE))
     for filter_iteration in range(mapping.filter_iterations):
         program.append(
             Opcode.LOAD_WEIGHTS,
@@ -45,6 +175,7 @@ def generate_program_from_mapping(mapping: LayerMapping) -> Program:
             program.append(
                 Opcode.BROADCAST,
                 cycles=int(round(mapping.cycles_per_pass)),
+                cycles_q16=cycles_q16,
                 repeats=mapping.output_positions,
             )
             program.append(
@@ -70,7 +201,12 @@ def generate_layer_program(
     thresholds=None,
     input_active_columns: Optional[float] = None,
 ) -> Program:
-    """Map a layer and generate its program in one step."""
+    """Map a layer and generate its program in one step.
+
+    This is the historical single-layer entry point, kept as a thin wrapper;
+    whole networks compile through
+    :func:`repro.compiler.pipeline.compile_model`.
+    """
     mapping = map_layer(
         layer,
         config=config,

@@ -6,15 +6,49 @@ This module defines the small ISA the code generator targets and the
 containers the (functional) controller consumes.  The ISA is deliberately
 coarse-grained: one instruction per architectural step of a tile, which is
 the granularity the cycle model charges for.
+
+Three representation choices keep whole-model programs compact (a VGG-19
+program is a few hundred thousand encoded instructions):
+
+* **Operand interning** -- :class:`Instruction` records are immutable, so a
+  :class:`Program` keeps one shared instance per distinct
+  ``(opcode, operands)`` pair and the instruction list stores references.
+  The hot inner loops of a layer (feature load / broadcast / compute /
+  accumulate) collapse to a handful of unique objects.
+* **Repeat counts** -- a ``repeats`` operand dispatches one encoded
+  instruction many times (the code generator uses it for the output-pixel
+  loop); :meth:`Program.iter_dispatches` streams the expanded sequence
+  lazily without materialising it.
+* **Segments** -- a whole-model program is divided into
+  :class:`ProgramSegment` windows, each sized to fit the instruction buffer
+  (one segment per buffer refill).  Segments slice back out as standalone
+  programs via :meth:`Program.segment_program`.
+
+Broadcast cycle counts are carried in Q16.16 fixed point (``cycles_q16``,
+see :data:`CYCLE_SCALE`) next to the legacy integer ``cycles`` operand, so
+the trace simulator reproduces the analytical model's fractional
+cycles-per-pass without floating-point operands in the ISA.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["Opcode", "Instruction", "Program"]
+__all__ = [
+    "CYCLE_SCALE",
+    "Opcode",
+    "Instruction",
+    "ProgramSegment",
+    "Program",
+]
+
+#: Fixed-point scale of the ``cycles_q16`` broadcast operand (Q16.16): the
+#: analytical model's fractional cycles-per-pass is encoded as
+#: ``round(cycles * CYCLE_SCALE)``, bounding the trace-vs-analytical
+#: quantisation error of one pass to ``0.5 / CYCLE_SCALE`` cycles.
+CYCLE_SCALE = 1 << 16
 
 
 class Opcode(Enum):
@@ -35,9 +69,14 @@ class Opcode(Enum):
 class Instruction:
     """One instruction with its operand fields.
 
+    Instances are immutable and may be *shared*: a :class:`Program` interns
+    instructions by ``(opcode, operands)``, so the same object can appear at
+    many stream positions.  Treat ``operands`` as read-only.
+
     Attributes:
         opcode: the architectural operation.
-        operands: free-form operand dictionary (tile ids, sizes, macro ids).
+        operands: free-form operand dictionary (sizes, repeat counts, byte
+            payloads, macro ids).
     """
 
     opcode: Opcode
@@ -51,30 +90,189 @@ class Instruction:
         """Fetch an operand by name."""
         return self.operands.get(name, default)
 
+    @property
+    def repeats(self) -> int:
+        """Dispatch count of this encoded instruction (default 1)."""
+        return int(self.operands.get("repeats", 1))
 
-@dataclass
+
+@dataclass(frozen=True)
+class ProgramSegment:
+    """One instruction-buffer-sized window of a program.
+
+    Attributes:
+        name: human-readable label (layer name plus iteration range).
+        start: index of the segment's first instruction in the program.
+        stop: one past the segment's last instruction.
+        layer: name of the layer the segment belongs to (``None`` for
+            layer-agnostic segments).
+    """
+
+    name: str
+    start: int
+    stop: int
+    layer: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError("segment bounds must satisfy 0 <= start <= stop")
+
+    @property
+    def num_instructions(self) -> int:
+        """Encoded instructions inside the segment."""
+        return self.stop - self.start
+
+    def size_bytes(self, bytes_per_instruction: int = 8) -> int:
+        """Encoded size of the segment (what one buffer refill must hold)."""
+        if bytes_per_instruction <= 0:
+            raise ValueError("bytes_per_instruction must be positive")
+        return self.num_instructions * bytes_per_instruction
+
+
 class Program:
-    """An ordered instruction stream for one layer (or one model)."""
+    """An ordered instruction stream for one layer (or one whole model).
 
-    instructions: List[Instruction] = field(default_factory=list)
+    Attributes:
+        instructions: the encoded stream, in dispatch order.  Entries are
+            interned -- identical ``(opcode, operands)`` pairs share one
+            :class:`Instruction` object.
+    """
+
+    def __init__(self, instructions: Optional[Sequence[Instruction]] = None) -> None:
+        self.instructions: List[Instruction] = list(instructions or ())
+        self._segments: List[ProgramSegment] = []
+        self._intern: Dict[Tuple, Instruction] = {}
+        self._open: Optional[Tuple[str, Optional[str], int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def intern(self, opcode: Opcode, **operands: int) -> Instruction:
+        """The shared :class:`Instruction` of ``(opcode, operands)``.
+
+        Returns the pooled instance without appending it -- build repeated
+        blocks once and append them with :meth:`append_block`.
+        """
+        key = (opcode, tuple(sorted(operands.items())))
+        instruction = self._intern.get(key)
+        if instruction is None:
+            instruction = Instruction(opcode=opcode, operands=operands)
+            self._intern[key] = instruction
+        return instruction
 
     def append(self, opcode: Opcode, **operands: int) -> Instruction:
-        """Append an instruction and return it."""
-        instruction = Instruction(opcode=opcode, operands=dict(operands))
+        """Append an instruction (interned) and return it."""
+        instruction = self.intern(opcode, **operands)
         self.instructions.append(instruction)
         return instruction
 
-    def extend(self, other: "Program") -> None:
-        self.instructions.extend(other.instructions)
+    def append_block(self, block: Sequence[Instruction], times: int = 1) -> None:
+        """Append a block of (already interned) instructions ``times`` times.
 
+        The repetition happens as one C-level list multiplication, which is
+        what keeps whole-model emission cheap for deeply tiled layers.
+        """
+        if times < 0:
+            raise ValueError("times must be non-negative")
+        if times and block:
+            self.instructions.extend(list(block) * times)
+
+    def extend(self, other: "Program") -> None:
+        """Append another program's stream (and rebased segments)."""
+        offset = len(self.instructions)
+        self.instructions.extend(other.instructions)
+        for segment in other.segments:
+            self._segments.append(
+                ProgramSegment(
+                    name=segment.name,
+                    start=segment.start + offset,
+                    stop=segment.stop + offset,
+                    layer=segment.layer,
+                )
+            )
+        for key, instruction in other._intern.items():
+            self._intern.setdefault(key, instruction)
+
+    # ------------------------------------------------------------------
+    # Segments
+    # ------------------------------------------------------------------
+    def open_segment(self, name: str, layer: Optional[str] = None) -> None:
+        """Start a new segment at the current stream position."""
+        if self._open is not None:
+            raise ValueError(
+                f"segment {self._open[0]!r} is still open; close it first"
+            )
+        self._open = (name, layer, len(self.instructions))
+
+    def close_segment(self) -> Optional[ProgramSegment]:
+        """Close the open segment; empty segments are discarded."""
+        if self._open is None:
+            raise ValueError("no segment is open")
+        name, layer, start = self._open
+        self._open = None
+        if start == len(self.instructions):
+            return None
+        segment = ProgramSegment(
+            name=name, start=start, stop=len(self.instructions), layer=layer
+        )
+        self._segments.append(segment)
+        return segment
+
+    @property
+    def segments(self) -> Tuple[ProgramSegment, ...]:
+        """The recorded segments, in stream order (empty for flat programs)."""
+        return tuple(self._segments)
+
+    def segment_program(self, index: int) -> "Program":
+        """Slice one segment back out as a standalone (flat) program."""
+        segment = self._segments[index]
+        return Program(self.instructions[segment.start : segment.stop])
+
+    def layer_segments(self, layer: str) -> Tuple[ProgramSegment, ...]:
+        """All segments belonging to one layer, in stream order."""
+        return tuple(s for s in self._segments if s.layer == layer)
+
+    # ------------------------------------------------------------------
+    # Stream access
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.instructions)
 
     def __iter__(self) -> Iterator[Instruction]:
         return iter(self.instructions)
 
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[Instruction, "Program"]:
+        """Index one instruction, or slice a sub-stream as a flat program."""
+        if isinstance(index, slice):
+            return Program(self.instructions[index])
+        return self.instructions[index]
+
+    def iter_dispatches(self) -> Iterator[Instruction]:
+        """Lazily expand ``repeats`` operands into the dispatched stream.
+
+        Yields every encoded instruction once per dispatch without
+        materialising the expanded sequence (whole-model programs expand to
+        millions of dispatches).
+        """
+        for instruction in self.instructions:
+            for _ in range(instruction.repeats):
+                yield instruction
+
+    def total_dispatches(self) -> int:
+        """Dispatched instruction count (``repeats`` operands expanded)."""
+        return sum(instruction.repeats for instruction in self.instructions)
+
+    @property
+    def unique_instructions(self) -> int:
+        """Distinct interned instructions backing the stream."""
+        if self._intern:
+            return len(self._intern)
+        return len({id(instruction) for instruction in self.instructions})
+
     def count(self, opcode: Opcode) -> int:
-        """Number of instructions with the given opcode."""
+        """Number of encoded instructions with the given opcode."""
         return sum(1 for instruction in self.instructions if instruction.opcode is opcode)
 
     def size_bytes(self, bytes_per_instruction: int = 8) -> int:

@@ -65,6 +65,7 @@ class LayerMapping:
 
     @property
     def total_cell_activations(self) -> float:
+        """6T cells driven over every cycle of the whole layer."""
         return self.total_cycles * self.weights_per_pass_cells
 
 

@@ -1,0 +1,159 @@
+"""The standard compiler passes of the whole-model pipeline.
+
+Each pass is one IR-to-IR transformation over a
+:class:`~repro.compiler.pipeline.ModuleIR`; the
+:class:`~repro.compiler.pipeline.PassManager` runs them in order:
+
+1. :class:`ThresholdAssignmentPass` -- attach the profile's FTA thresholds
+   and IPU statistics to every layer (respecting the variant's sparsity
+   flags);
+2. :class:`MappingPass` -- run the dataflow mapper, fixing every layer's
+   tiling onto the macros;
+3. :class:`OverlapPass` -- decide weight-load hoisting and feature-tile
+   double buffering from the buffer capacities;
+4. :class:`SplitPass` -- segment every layer's instruction stream to the
+   instruction buffer, downgrading a hoist that cannot share a refill with
+   its first compute iteration.
+
+Passes fail loudly (``CompilationError``) when a prerequisite is missing,
+so custom pass lists that break the order are caught before emission.
+"""
+
+from __future__ import annotations
+
+from .mapping import MAX_FTA_THRESHOLD, map_layer
+from .pipeline import CompilationError, CompilerPass, ModuleIR
+from .schedule import (
+    OverlapDecision,
+    ProgramSplitError,
+    decide_overlap,
+    plan_layer_segments,
+)
+
+__all__ = [
+    "ThresholdAssignmentPass",
+    "MappingPass",
+    "OverlapPass",
+    "SplitPass",
+    "instructions_per_iteration",
+]
+
+#: Instructions of one tile's compute body (feature load, broadcast,
+#: macro compute, accumulate).
+_TILE_BODY = 4
+
+#: Instructions of a layer's epilogue (SIMD op + write back).
+_EPILOGUE = 2
+
+
+def instructions_per_iteration(input_tiles: int, load_instructions: int) -> int:
+    """Encoded instructions of one filter iteration (loads + tiles + barrier)."""
+    return load_instructions + _TILE_BODY * input_tiles + 1
+
+
+class ThresholdAssignmentPass(CompilerPass):
+    """Attach FTA thresholds and IPU statistics from the module's profile.
+
+    Under weight sparsity every layer receives its per-filter ``phi_th``
+    tuple (validated against :data:`~repro.compiler.mapping.MAX_FTA_THRESHOLD`);
+    under input sparsity every layer receives its measured average active
+    bit-column count.  Disabled sparsity modes leave the fields ``None`` so
+    the mapper takes the dense paths.
+    """
+
+    name = "assign-thresholds"
+
+    def run(self, module: ModuleIR) -> None:
+        """Copy the profile's statistics onto every layer node."""
+        if module.profile is None:
+            raise CompilationError(
+                f"pass {self.name!r} requires the module's sparsity profile; "
+                "lower the module with lower_model()"
+            )
+        for node, layer_profile in zip(module.layers, module.profile.layers):
+            if module.config.weight_sparsity:
+                thresholds = tuple(int(t) for t in layer_profile.thresholds)
+                if len(thresholds) != node.layer.out_channels:
+                    raise CompilationError(
+                        f"layer {node.layer.name!r}: expected "
+                        f"{node.layer.out_channels} thresholds, got {len(thresholds)}"
+                    )
+                if thresholds and not all(
+                    0 <= t <= MAX_FTA_THRESHOLD for t in thresholds
+                ):
+                    raise CompilationError(
+                        f"layer {node.layer.name!r}: FTA thresholds must lie "
+                        f"in 0..{MAX_FTA_THRESHOLD}"
+                    )
+                node.thresholds = thresholds
+            if module.config.input_sparsity:
+                node.input_active_columns = float(layer_profile.input_active_columns)
+
+
+class MappingPass(CompilerPass):
+    """Fix every layer's static tiling via the dataflow mapper."""
+
+    name = "map-tiling"
+
+    def run(self, module: ModuleIR) -> None:
+        """Run :func:`repro.compiler.mapping.map_layer` on every node."""
+        for node in module.layers:
+            node.mapping = map_layer(
+                node.layer,
+                config=module.config,
+                thresholds=node.thresholds,
+                input_active_columns=node.input_active_columns,
+            )
+
+
+class OverlapPass(CompilerPass):
+    """Decide weight-load hoisting and feature double buffering per layer."""
+
+    name = "overlap-double-buffer"
+
+    def run(self, module: ModuleIR) -> None:
+        """Attach an :class:`~repro.compiler.schedule.OverlapDecision`."""
+        module.require("mapping", self.name)
+        for node in module.layers:
+            node.overlap = decide_overlap(node.mapping, module.config)
+
+
+class SplitPass(CompilerPass):
+    """Segment every layer's stream to the instruction buffer.
+
+    A hoisted layer whose prologue cannot share a buffer refill with its
+    first compute iteration is downgraded to per-iteration streaming (the
+    overlap decision is rewritten so emission and metadata stay
+    consistent).
+    """
+
+    name = "split-instruction-buffer"
+
+    def run(self, module: ModuleIR) -> None:
+        """Compute each layer's :class:`~repro.compiler.schedule.SegmentPlan`."""
+        module.require("mapping", self.name)
+        module.require("overlap", self.name)
+        capacity = module.config.buffers.instruction_buffer
+        for node in module.layers:
+            loads = 2 if module.config.weight_sparsity else 1
+            try:
+                plans = plan_layer_segments(
+                    node.layer.name,
+                    iterations=node.mapping.filter_iterations,
+                    load_instructions=loads,
+                    tile_instructions=_TILE_BODY * node.mapping.input_tiles,
+                    epilogue_instructions=_EPILOGUE,
+                    hoisted=node.overlap.hoist_weight_loads,
+                    capacity_bytes=capacity,
+                )
+            except ProgramSplitError as error:
+                raise CompilationError(str(error)) from error
+            hoisted = bool(plans and plans[0].hoisted_iterations)
+            if hoisted != node.overlap.hoist_weight_loads:
+                node.overlap = OverlapDecision(
+                    hoist_weight_loads=hoisted,
+                    double_buffer_features=node.overlap.double_buffer_features,
+                    reason=node.overlap.reason
+                    + "; hoist downgraded (prologue exceeds one refill)",
+                )
+            node.segment_plan = tuple(plans)

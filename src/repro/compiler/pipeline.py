@@ -1,0 +1,318 @@
+"""Whole-model, pass-based compilation pipeline.
+
+This is the compiler's top half: it lowers a profiled workload into a
+mutable per-layer IR, runs an ordered list of transformation passes over it,
+and hands the scheduled module to the code generator, producing one
+:class:`~repro.compiler.isa.Program` for the *whole network* -- segmented to
+the instruction buffer, annotated with per-layer metadata, and replayable on
+the trace simulator (:mod:`repro.sim.trace`).
+
+Stages::
+
+    ModelSparsityProfile + DBPIMConfig + variant
+        |  lower_model()
+        v
+    ModuleIR (one LayerIR per weighted layer)
+        |  PassManager.run()  --  ordered CompilerPass list:
+        |    threshold-assignment  (FTA phi_th from the profile)
+        |    mapping               (tiling onto the macros)
+        |    overlap               (weight-load hoisting + double buffering)
+        |    split                 (instruction-buffer-aware segmentation)
+        v
+    scheduled ModuleIR
+        |  emit_module()  (repro.compiler.codegen)
+        v
+    CompiledModel (Program with segments + per-layer CompiledLayerInfo)
+
+:func:`compile_model` wires the stages together and is what the façade's
+``"program"`` experiment and the trace simulator consume; the historical
+per-layer :func:`repro.compiler.codegen.generate_layer_program` remains as a
+thin single-layer front door.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..arch.config import DBPIMConfig
+from ..workloads.layers import LayerShape
+from ..workloads.models import ModelWorkload
+from ..workloads.profiles import ModelSparsityProfile
+from .isa import CYCLE_SCALE, Program
+from .mapping import LayerMapping
+from .schedule import OverlapDecision, SegmentPlan
+
+__all__ = [
+    "CompilationError",
+    "LayerIR",
+    "ModuleIR",
+    "CompilerPass",
+    "PassManager",
+    "lower_model",
+    "default_passes",
+    "compile_model",
+    "CompiledLayerInfo",
+    "CompiledModel",
+]
+
+
+class CompilationError(ValueError):
+    """A pass (or the emitter) rejected the module being compiled."""
+
+
+@dataclass
+class LayerIR:
+    """Mutable per-layer node of the module IR.
+
+    Passes progressively fill the optional fields; the emitter requires
+    ``mapping``, ``overlap`` and ``segment_plan`` to be present.
+
+    Attributes:
+        layer: the layer's shape descriptor.
+        thresholds: per-filter FTA thresholds (set by the threshold pass
+            when weight sparsity is enabled).
+        input_active_columns: measured IPU active bit columns (set by the
+            threshold pass when input sparsity is enabled).
+        mapping: static tiling decisions (set by the mapping pass).
+        overlap: hoist / double-buffering decisions (set by the overlap
+            pass).
+        segment_plan: instruction-buffer segmentation (set by the split
+            pass).
+    """
+
+    layer: LayerShape
+    thresholds: Optional[Tuple[int, ...]] = None
+    input_active_columns: Optional[float] = None
+    mapping: Optional[LayerMapping] = None
+    overlap: Optional[OverlapDecision] = None
+    segment_plan: Optional[Tuple[SegmentPlan, ...]] = None
+
+
+@dataclass
+class ModuleIR:
+    """Whole-model intermediate representation the passes transform.
+
+    Attributes:
+        workload: the network being compiled.
+        config: the hardware configuration with the variant's sparsity
+            flags already applied.
+        variant: the Fig. 7 sparsity variant name.
+        layers: one :class:`LayerIR` per weighted layer, in network order.
+        profile: the sparsity profile the module was lowered from (read by
+            the threshold-assignment pass).
+        pass_log: names of the passes that ran, in order.
+    """
+
+    workload: ModelWorkload
+    config: DBPIMConfig
+    variant: str
+    layers: List[LayerIR] = field(default_factory=list)
+    profile: Optional[ModelSparsityProfile] = None
+    pass_log: List[str] = field(default_factory=list)
+
+    def require(self, attribute: str, pass_name: str) -> None:
+        """Assert that an earlier pass filled ``attribute`` on every layer.
+
+        Raises:
+            CompilationError: naming the first unfilled layer, so a
+                mis-ordered pass list fails loudly instead of emitting a
+                broken program.
+        """
+        for node in self.layers:
+            if getattr(node, attribute) is None:
+                raise CompilationError(
+                    f"pass {pass_name!r} requires {attribute!r} on layer "
+                    f"{node.layer.name!r}; run the producing pass first"
+                )
+
+
+class CompilerPass:
+    """Base class of one IR-to-IR transformation.
+
+    Subclasses set :attr:`name` and implement :meth:`run`, mutating the
+    module in place.
+    """
+
+    #: Stable pass name recorded in the module's pass log.
+    name = "pass"
+
+    def run(self, module: ModuleIR) -> None:
+        """Transform ``module`` in place."""
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs an ordered list of passes over a module.
+
+    Args:
+        passes: the passes, in execution order.
+    """
+
+    def __init__(self, passes: Sequence[CompilerPass]) -> None:
+        self.passes: Tuple[CompilerPass, ...] = tuple(passes)
+
+    def run(self, module: ModuleIR) -> ModuleIR:
+        """Run every pass in order, recording each in the pass log."""
+        for compiler_pass in self.passes:
+            compiler_pass.run(module)
+            module.pass_log.append(compiler_pass.name)
+        return module
+
+
+def lower_model(
+    profile: ModelSparsityProfile,
+    config: Optional[DBPIMConfig] = None,
+    variant: str = "hybrid",
+) -> ModuleIR:
+    """Lower a profiled workload into the module IR.
+
+    Applies the variant's sparsity flags to the configuration (see
+    :meth:`repro.arch.config.DBPIMConfig.for_variant`) and creates one
+    unscheduled :class:`LayerIR` per weighted layer; the profile's sparsity
+    statistics are attached by the threshold-assignment pass, not here.
+
+    Args:
+        profile: the profiled workload.
+        config: base hardware configuration (paper default when omitted).
+        variant: one of the Fig. 7 sparsity variants.
+
+    Returns:
+        The unscheduled module.
+    """
+    config = (config or DBPIMConfig()).for_variant(variant)
+    return ModuleIR(
+        workload=profile.workload,
+        config=config,
+        variant=variant,
+        layers=[LayerIR(layer=p.layer) for p in profile.layers],
+        profile=profile,
+    )
+
+
+def default_passes(module: ModuleIR) -> List[CompilerPass]:
+    """The standard pass list for a lowered module, in order."""
+    from .passes import (
+        MappingPass,
+        OverlapPass,
+        SplitPass,
+        ThresholdAssignmentPass,
+    )
+
+    return [
+        ThresholdAssignmentPass(),
+        MappingPass(),
+        OverlapPass(),
+        SplitPass(),
+    ]
+
+
+@dataclass(frozen=True)
+class CompiledLayerInfo:
+    """Per-layer metadata of a compiled whole-model program.
+
+    Attributes:
+        name: layer name.
+        filter_iterations, input_tiles, output_positions: the mapping's
+            loop bounds (what the emitted stream unrolls).
+        cycles_per_pass_q16: broadcast cycles of one pass in Q16.16 fixed
+            point (the ``cycles_q16`` operand of the layer's broadcasts).
+        hoisted: whether weight loads were emitted as a prologue.
+        double_buffered: whether feature tiles are double-buffered.
+        segment_indices: indices of the layer's segments in the program.
+        instructions: encoded instructions of the layer.
+    """
+
+    name: str
+    filter_iterations: int
+    input_tiles: int
+    output_positions: int
+    cycles_per_pass_q16: int
+    hoisted: bool
+    double_buffered: bool
+    segment_indices: Tuple[int, ...]
+    instructions: int
+
+    @property
+    def expected_compute_cycles(self) -> float:
+        """Broadcast cycles the emitted stream encodes for this layer."""
+        passes = self.filter_iterations * self.input_tiles * self.output_positions
+        return passes * self.cycles_per_pass_q16 / CYCLE_SCALE
+
+
+@dataclass(frozen=True)
+class CompiledModel:
+    """The output of :func:`compile_model`.
+
+    Attributes:
+        name: workload name.
+        variant: the Fig. 7 sparsity variant compiled for.
+        config: the variant-applied hardware configuration.
+        program: the whole-model segmented instruction stream.
+        layers: per-layer metadata, in network order.
+        pass_log: names of the passes that ran, in order.
+    """
+
+    name: str
+    variant: str
+    config: DBPIMConfig
+    program: Program
+    layers: Tuple[CompiledLayerInfo, ...]
+    pass_log: Tuple[str, ...]
+
+    @property
+    def expected_compute_cycles(self) -> float:
+        """Broadcast cycles the program encodes, summed over all layers."""
+        return sum(layer.expected_compute_cycles for layer in self.layers)
+
+    def layer(self, name: str) -> CompiledLayerInfo:
+        """Look one layer's metadata up by name."""
+        for info in self.layers:
+            if info.name == name:
+                return info
+        raise KeyError(
+            f"unknown layer {name!r}; available: {[l.name for l in self.layers]}"
+        )
+
+
+def compile_model(
+    profile: ModelSparsityProfile,
+    config: Optional[DBPIMConfig] = None,
+    variant: str = "hybrid",
+    passes: Optional[Sequence[CompilerPass]] = None,
+) -> CompiledModel:
+    """Compile a whole workload into one segmented program.
+
+    Lowers the profile, runs the pass pipeline (the default list of
+    :func:`default_passes` unless overridden) and emits the instruction
+    stream.
+
+    Args:
+        profile: the profiled workload (thresholds + IPU statistics).
+        config: base hardware configuration (paper default when omitted).
+        variant: one of the Fig. 7 sparsity variants.
+        passes: replacement pass list (advanced; order matters).
+
+    Returns:
+        The compiled model: segmented program plus per-layer metadata.
+
+    Raises:
+        CompilationError: when a pass prerequisite is missing or a layer
+            cannot be segmented into the instruction buffer.
+    """
+    from .codegen import emit_module
+
+    module = lower_model(profile, config=config, variant=variant)
+    manager = PassManager(passes if passes is not None else default_passes(module))
+    manager.run(module)
+    for required in ("mapping", "overlap", "segment_plan"):
+        module.require(required, "emit")
+    program, infos = emit_module(module)
+    return CompiledModel(
+        name=module.workload.name,
+        variant=module.variant,
+        config=module.config,
+        program=program,
+        layers=tuple(infos),
+        pass_log=tuple(module.pass_log),
+    )

@@ -1,0 +1,314 @@
+"""Static scheduling decisions of the compilation pipeline.
+
+This module holds the pure planning logic the passes in
+:mod:`repro.compiler.passes` apply to a lowered module: byte-level transfer
+sizing, weight-load hoisting, double-buffered load/compute overlap, and the
+instruction-buffer-aware segmentation of a layer's instruction stream.
+Everything here is closed-form arithmetic over a
+:class:`~repro.compiler.mapping.LayerMapping` and a
+:class:`~repro.arch.config.DBPIMConfig`; the emission itself lives in
+:mod:`repro.compiler.codegen`.
+
+Scheduling model
+----------------
+
+* **Transfers** move whole byte payloads over an on-chip bus of
+  ``bytes_per_cycle`` (the :class:`TransferModel`); one load instruction of
+  ``b`` bytes costs ``ceil(b / bytes_per_cycle)`` DMA cycles per dispatch.
+* **Hoisting**: when a layer's entire weight (and, under weight sparsity,
+  metadata) footprint fits its buffer, all per-iteration weight loads are
+  emitted as a prologue so the trace scheduler can prefetch them behind
+  compute.
+* **Double buffering**: when two input-feature tiles fit the feature
+  buffer, tile ``t+1`` streams in while tile ``t`` computes, hiding feature
+  transfer cycles behind broadcast cycles.
+* **Segmentation**: the top controller executes one instruction-buffer
+  refill (a :class:`~repro.compiler.isa.ProgramSegment`) at a time, so a
+  layer's stream is split at filter-iteration boundaries into windows of at
+  most ``instruction_buffer / bytes_per_instruction`` instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..arch.config import DBPIMConfig
+from .mapping import LayerMapping
+
+__all__ = [
+    "BYTES_PER_INSTRUCTION",
+    "DEFAULT_BYTES_PER_CYCLE",
+    "TransferModel",
+    "OverlapDecision",
+    "SegmentPlan",
+    "ProgramSplitError",
+    "layer_transfer_bytes",
+    "decide_hoist",
+    "decide_overlap",
+    "plan_layer_segments",
+]
+
+#: Encoded size of one instruction (matches ``Program.size_bytes``).
+BYTES_PER_INSTRUCTION = 8
+
+#: Default on-chip bus width of the transfer model, in bytes per cycle.
+DEFAULT_BYTES_PER_CYCLE = 64
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Byte-payload → DMA-cycle pricing of the load/store path.
+
+    Attributes:
+        bytes_per_cycle: on-chip bus width (bytes moved per cycle).
+    """
+
+    bytes_per_cycle: int = DEFAULT_BYTES_PER_CYCLE
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+
+    def cycles(self, payload_bytes: int) -> int:
+        """DMA cycles of one transfer of ``payload_bytes`` bytes."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        return -(-payload_bytes // self.bytes_per_cycle)
+
+
+@dataclass(frozen=True)
+class TransferBytes:
+    """Per-layer byte payloads of the three load streams.
+
+    Attributes:
+        weight_bytes_per_iteration: weight-buffer payload of one filter
+            iteration (INT8 dense values or packed Comp.-Pattern values).
+        metadata_bytes_per_iteration: metadata-register-file payload of one
+            filter iteration (0 when weight sparsity is disabled).
+        feature_bytes_per_tile: feature-buffer payload of one input tile.
+        output_bytes: SIMD/write-back payload of the whole layer.
+    """
+
+    weight_bytes_per_iteration: int
+    metadata_bytes_per_iteration: int
+    feature_bytes_per_tile: int
+    output_bytes: int
+
+
+@dataclass(frozen=True)
+class OverlapDecision:
+    """Outcome of the overlap pass for one layer.
+
+    Attributes:
+        hoist_weight_loads: emit all weight/metadata loads as a prologue
+            (the whole footprint fits on chip) so they prefetch behind
+            compute.
+        double_buffer_features: stream the next feature tile during the
+            current tile's compute (two tiles fit the feature buffer).
+        reason: human-readable justification, kept for the pass log.
+    """
+
+    hoist_weight_loads: bool
+    double_buffer_features: bool
+    reason: str
+
+
+class ProgramSplitError(ValueError):
+    """A layer's indivisible instruction run exceeds the instruction buffer."""
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """Blueprint of one emitted segment of a layer.
+
+    Attributes:
+        hoisted_iterations: number of filter iterations whose weight loads
+            are emitted at the start of this segment (only ever non-zero in
+            a layer's first segment, and only when hoisting is enabled).
+        start_iteration: first filter iteration whose compute body this
+            segment holds.
+        stop_iteration: one past the last filter iteration of the segment.
+        epilogue: whether the layer's SIMD + write-back tail is emitted at
+            the end of this segment.
+    """
+
+    hoisted_iterations: int
+    start_iteration: int
+    stop_iteration: int
+    epilogue: bool
+
+    @property
+    def iterations(self) -> int:
+        """Filter iterations whose compute body this segment holds."""
+        return self.stop_iteration - self.start_iteration
+
+
+def layer_transfer_bytes(mapping: LayerMapping, config: DBPIMConfig) -> TransferBytes:
+    """Byte payloads of one mapped layer's load/store streams.
+
+    Dense weights occupy one byte per INT8 value; under weight sparsity the
+    packed Comp.-Pattern values still ship one byte per weight slot and the
+    sign/index metadata adds one byte per weight (mirroring the analytical
+    energy model's ``meta_bytes = weight_count`` accounting).  Features and
+    outputs are INT8, one byte per element.
+    """
+    layer = mapping.layer
+    iterations = max(mapping.filter_iterations, 1)
+    weight_bytes = -(-layer.weight_count // iterations)
+    meta_bytes = weight_bytes if config.weight_sparsity else 0
+    rows_used = min(layer.reduction_size, config.macro.rows)
+    return TransferBytes(
+        weight_bytes_per_iteration=weight_bytes,
+        metadata_bytes_per_iteration=meta_bytes,
+        feature_bytes_per_tile=rows_used,
+        output_bytes=layer.out_channels * layer.output_positions,
+    )
+
+
+def decide_hoist(mapping: LayerMapping, config: DBPIMConfig) -> bool:
+    """Whether a layer's weight loads can be hoisted across iterations.
+
+    Hoisting is legal when the layer's *whole* weight footprint fits the
+    weight buffer (and, under weight sparsity, the metadata footprint fits
+    the meta buffer): every iteration's weights are then resident at once
+    and can be prefetched behind earlier compute.
+    """
+    transfers = layer_transfer_bytes(mapping, config)
+    iterations = mapping.filter_iterations
+    total_weight = transfers.weight_bytes_per_iteration * iterations
+    if total_weight > config.buffers.weight_buffer:
+        return False
+    if config.weight_sparsity:
+        total_meta = transfers.metadata_bytes_per_iteration * iterations
+        if total_meta > config.buffers.meta_buffer:
+            return False
+    return True
+
+
+def decide_overlap(mapping: LayerMapping, config: DBPIMConfig) -> OverlapDecision:
+    """The hoist + double-buffering decision of one mapped layer."""
+    transfers = layer_transfer_bytes(mapping, config)
+    hoist = decide_hoist(mapping, config)
+    double_buffer = (
+        2 * transfers.feature_bytes_per_tile <= config.buffers.feature_buffer
+    )
+    reasons = []
+    reasons.append(
+        "weights resident (hoisted prologue)" if hoist else "weights streamed per iteration"
+    )
+    reasons.append(
+        "feature tiles double-buffered" if double_buffer else "feature tiles single-buffered"
+    )
+    return OverlapDecision(
+        hoist_weight_loads=hoist,
+        double_buffer_features=double_buffer,
+        reason="; ".join(reasons),
+    )
+
+
+def plan_layer_segments(
+    layer_name: str,
+    *,
+    iterations: int,
+    load_instructions: int,
+    tile_instructions: int,
+    epilogue_instructions: int,
+    hoisted: bool,
+    capacity_bytes: int,
+    bytes_per_instruction: int = BYTES_PER_INSTRUCTION,
+) -> List[SegmentPlan]:
+    """Split one layer's stream into instruction-buffer-sized segments.
+
+    The layer's stream is a prologue of ``iterations * load_instructions``
+    hoisted loads (when ``hoisted``), then per-iteration compute chunks of
+    ``tile_instructions + 1`` (+ ``load_instructions`` when not hoisted)
+    instructions, then an epilogue.  Splits only happen at filter-iteration
+    boundaries -- the indivisible atoms of the schedule.
+
+    Args:
+        layer_name: for error messages.
+        iterations: filter iterations of the layer's mapping.
+        load_instructions: weight/metadata load instructions per iteration.
+        tile_instructions: compute instructions per iteration (the tile
+            loop), excluding the iteration's trailing barrier.
+        epilogue_instructions: SIMD + write-back tail instructions.
+        hoisted: whether loads are emitted as a prologue.
+        capacity_bytes: instruction-buffer capacity in bytes.
+        bytes_per_instruction: encoded instruction size.
+
+    Returns:
+        The per-segment blueprints, in stream order.
+
+    Raises:
+        ProgramSplitError: when one indivisible run (the hoisted prologue
+            plus one iteration, one per-iteration chunk, or the epilogue)
+            cannot fit the buffer.
+    """
+    capacity = capacity_bytes // bytes_per_instruction
+    chunk = tile_instructions + 1 + (0 if hoisted else load_instructions)
+    prologue = iterations * load_instructions if hoisted else 0
+
+    def _overflow(what: str, need: int) -> ProgramSplitError:
+        return ProgramSplitError(
+            f"layer {layer_name!r}: {what} needs {need} instructions "
+            f"({need * bytes_per_instruction} bytes) but the instruction "
+            f"buffer holds {capacity} ({capacity_bytes} bytes)"
+        )
+
+    if chunk > capacity:
+        raise _overflow("one filter iteration", chunk)
+    if epilogue_instructions > capacity:
+        raise _overflow("the layer epilogue", epilogue_instructions)
+    if hoisted and prologue + chunk > capacity:
+        # A hoisted prologue must land in the same refill as the first
+        # iteration (the weights must be resident before compute starts);
+        # fall back to streaming the loads per iteration instead.
+        return plan_layer_segments(
+            layer_name,
+            iterations=iterations,
+            load_instructions=load_instructions,
+            tile_instructions=tile_instructions,
+            epilogue_instructions=epilogue_instructions,
+            hoisted=False,
+            capacity_bytes=capacity_bytes,
+            bytes_per_instruction=bytes_per_instruction,
+        )
+
+    plans: List[SegmentPlan] = []
+    start = 0
+    while start < iterations:
+        budget = capacity - (prologue if start == 0 else 0)
+        fit = max(budget // chunk, 1)
+        stop = min(start + fit, iterations)
+        plans.append(
+            SegmentPlan(
+                hoisted_iterations=iterations if (hoisted and start == 0) else 0,
+                start_iteration=start,
+                stop_iteration=stop,
+                epilogue=False,
+            )
+        )
+        start = stop
+
+    last = plans[-1]
+    last_size = (
+        last.hoisted_iterations * load_instructions + last.iterations * chunk
+    )
+    if last_size + epilogue_instructions <= capacity:
+        plans[-1] = SegmentPlan(
+            hoisted_iterations=last.hoisted_iterations,
+            start_iteration=last.start_iteration,
+            stop_iteration=last.stop_iteration,
+            epilogue=True,
+        )
+    else:
+        plans.append(
+            SegmentPlan(
+                hoisted_iterations=0,
+                start_iteration=iterations,
+                stop_iteration=iterations,
+                epilogue=True,
+            )
+        )
+    return plans

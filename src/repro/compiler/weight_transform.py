@@ -55,6 +55,7 @@ class CompressedFilter:
 
     @property
     def num_weights(self) -> int:
+        """Weights of the filter (reduction elements)."""
         return int(self.weights.size)
 
     @property
@@ -96,14 +97,17 @@ class CompressedLayer:
 
     @property
     def thresholds(self) -> np.ndarray:
+        """Per-filter ``φ_th`` values, in filter order."""
         return np.asarray([f.threshold for f in self.filters], dtype=np.int64)
 
     @property
     def total_value_bytes(self) -> int:
+        """Packed value-stream bytes over every filter."""
         return sum(f.value_bytes() for f in self.filters)
 
     @property
     def total_metadata_bytes(self) -> int:
+        """Sign+index metadata bytes over every filter."""
         return sum(f.metadata_bytes() for f in self.filters)
 
     @property

@@ -1,8 +1,15 @@
 """Cycle-level performance simulation and system metrics.
 
-Two engines back the cycle model: the NumPy-vectorized batch kernel
-(:mod:`repro.sim.vectorized`, the default) and the per-layer scalar
-reference (``engine="scalar"``); both produce bitwise-identical results.
+Three execution styles back the simulator:
+
+* the analytical cycle model with its two interchangeable engines -- the
+  NumPy-vectorized batch kernel (:mod:`repro.sim.vectorized`, the default)
+  and the per-layer scalar reference (``engine="scalar"``); both produce
+  bitwise-identical results;
+* the **trace-driven program simulator** (:mod:`repro.sim.trace`), which
+  replays the compiler's whole-model programs through the top controller
+  and is cross-checked against the analytical model within
+  :data:`~repro.sim.trace.TRACE_TOLERANCE`.
 """
 
 from .cycle_model import (
@@ -13,7 +20,20 @@ from .cycle_model import (
     LayerPerformance,
     ModelPerformance,
 )
-from .metrics import SystemMetrics, compute_metrics, peak_throughput_tops
+from .metrics import (
+    CycleBreakdown,
+    SystemMetrics,
+    compute_metrics,
+    peak_throughput_tops,
+)
+from .trace import (
+    DEFAULT_SIMD_LANES,
+    TRACE_TOLERANCE,
+    LayerTrace,
+    ProgramTrace,
+    TraceSimulator,
+    relative_cycle_error,
+)
 from .vectorized import (
     MAX_FTA_THRESHOLD,
     BatchActivity,
@@ -28,9 +48,16 @@ __all__ = [
     "CycleModel",
     "LayerPerformance",
     "ModelPerformance",
+    "CycleBreakdown",
     "SystemMetrics",
     "compute_metrics",
     "peak_throughput_tops",
+    "TRACE_TOLERANCE",
+    "DEFAULT_SIMD_LANES",
+    "LayerTrace",
+    "ProgramTrace",
+    "TraceSimulator",
+    "relative_cycle_error",
     "MAX_FTA_THRESHOLD",
     "BatchActivity",
     "ProfileArrays",

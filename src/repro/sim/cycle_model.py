@@ -33,7 +33,7 @@ import numpy as np
 
 __docformat__ = "numpy"
 
-from ..arch.config import DBPIMConfig
+from ..arch.config import DBPIMConfig, SPARSITY_VARIANTS
 from ..arch.energy import EnergyBreakdown, EnergyModel
 from ..compiler.mapping import map_layer
 from ..workloads.layers import LayerShape
@@ -48,9 +48,6 @@ __all__ = [
     "ENGINES",
     "DEFAULT_ENGINE",
 ]
-
-#: The four configurations of Fig. 7, in plotting order.
-SPARSITY_VARIANTS = ("base", "input", "weight", "hybrid")
 
 #: The selectable cycle-model engines.
 ENGINES = ("scalar", "vectorized")
@@ -196,17 +193,7 @@ class CycleModel:
         DBPIMConfig
             ``config`` with the variant's sparsity flags applied.
         """
-        if variant == "base":
-            return config.dense_baseline()
-        if variant == "input":
-            return config.input_sparsity_only()
-        if variant == "weight":
-            return config.weight_sparsity_only()
-        if variant == "hybrid":
-            return config
-        raise ValueError(
-            f"unknown variant {variant!r}; expected one of {SPARSITY_VARIANTS}"
-        )
+        return config.for_variant(variant)
 
     def variant_config(self, variant: str) -> DBPIMConfig:
         """The hardware configuration of one Fig. 7 variant."""

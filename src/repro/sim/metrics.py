@@ -4,18 +4,98 @@ These are the quantities of Table 3 ("Detailed Comparisons with Related
 Works"): peak throughput, peak throughput per macro, energy efficiency in
 TOPS/W and energy efficiency per unit area, plus the actual utilisation
 ``U_act`` already tracked by the cycle model.
+
+The module also defines :class:`CycleBreakdown`, the per-unit cycle record
+shared by the trace simulator (:mod:`repro.sim.trace`): compute (broadcast)
+cycles plus the load/SIMD/write-back cycles the analytical model does not
+price, with the overlap scheduler's hidden cycles accounted separately.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..arch.area import AreaModel
 from ..arch.config import DBPIMConfig
 from .cycle_model import ModelPerformance
 
-__all__ = ["SystemMetrics", "compute_metrics", "peak_throughput_tops"]
+__all__ = [
+    "CycleBreakdown",
+    "SystemMetrics",
+    "compute_metrics",
+    "peak_throughput_tops",
+]
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Per-unit cycle accounting of one traced program (or one layer).
+
+    Attributes:
+        compute: bit-serial broadcast cycles (the quantity the analytical
+            cycle model prices; the trace-vs-analytical contract is defined
+            on this field -- see ``docs/compiler.md``).
+        weight_load / feature_load / metadata_load: DMA cycles of the three
+            load streams.
+        simd: post-processing cycles of the SIMD core.
+        write_back: output write-back DMA cycles.
+        hidden: cycles the overlap scheduler hides behind compute (double
+            buffering / hoisted prefetch); subtracted from the serial sum.
+    """
+
+    compute: float = 0.0
+    weight_load: float = 0.0
+    feature_load: float = 0.0
+    metadata_load: float = 0.0
+    simd: float = 0.0
+    write_back: float = 0.0
+    hidden: float = 0.0
+
+    @property
+    def load(self) -> float:
+        """All DMA load cycles (weights + features + metadata)."""
+        return self.weight_load + self.feature_load + self.metadata_load
+
+    @property
+    def serial(self) -> float:
+        """Cycles of a schedule with no overlap at all."""
+        return self.compute + self.load + self.simd + self.write_back
+
+    @property
+    def total(self) -> float:
+        """Scheduled cycles (serial minus the overlap-hidden cycles)."""
+        return self.serial - self.hidden
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Fraction of the serial cycles the overlap scheduler hides."""
+        return self.hidden / self.serial if self.serial else 0.0
+
+    def merged(self, other: "CycleBreakdown") -> "CycleBreakdown":
+        """Element-wise sum with another breakdown (both are immutable)."""
+        return CycleBreakdown(
+            compute=self.compute + other.compute,
+            weight_load=self.weight_load + other.weight_load,
+            feature_load=self.feature_load + other.feature_load,
+            metadata_load=self.metadata_load + other.metadata_load,
+            simd=self.simd + other.simd,
+            write_back=self.write_back + other.write_back,
+            hidden=self.hidden + other.hidden,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form (JSON-safe), including the derived totals."""
+        return {
+            "compute": self.compute,
+            "weight_load": self.weight_load,
+            "feature_load": self.feature_load,
+            "metadata_load": self.metadata_load,
+            "simd": self.simd,
+            "write_back": self.write_back,
+            "hidden": self.hidden,
+            "total": self.total,
+        }
 
 
 def peak_throughput_tops(

@@ -1,0 +1,269 @@
+"""Trace-driven program simulator: replay compiled whole-model programs.
+
+Where the analytical cycle model (:mod:`repro.sim.cycle_model`) prices a
+workload from its *mapping equations*, this module executes the compiler's
+actual output: it replays a :class:`~repro.compiler.pipeline.CompiledModel`
+segment by segment through the :class:`~repro.arch.controller.TopController`
+and aggregates per-unit busy cycles, buffer occupancy and overlap savings
+into :class:`~repro.sim.metrics.CycleBreakdown` records.
+
+Trace-vs-analytical contract
+----------------------------
+The analytical model charges **broadcast (compute) cycles only**.  The
+trace's per-model ``compute_cycles`` must therefore reproduce
+``ModelPerformance.total_cycles`` for every preset, workload and sparsity
+variant -- within :data:`TRACE_TOLERANCE`, the quantisation bound of the
+Q16.16 ``cycles_q16`` broadcast operand (one pass is off by at most
+``0.5 / 65536`` cycles).  Everything else the trace reports -- DMA load
+cycles, SIMD/write-back tails, double-buffering overlap, buffer high-water
+marks -- is *additional* fidelity the analytical model does not price, and
+is excluded from the contract.  The equivalence suite in
+``tests/sim/test_trace.py`` pins the contract; ``docs/compiler.md``
+documents it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..arch.config import DBPIMConfig
+from ..arch.controller import DEFAULT_SIMD_LANES, TopController
+from ..compiler.pipeline import CompiledLayerInfo, CompiledModel, compile_model
+from ..compiler.schedule import DEFAULT_BYTES_PER_CYCLE
+from ..workloads.profiles import ModelSparsityProfile
+from .cycle_model import ModelPerformance
+from .metrics import CycleBreakdown
+
+__all__ = [
+    "TRACE_TOLERANCE",
+    "DEFAULT_SIMD_LANES",
+    "LayerTrace",
+    "ProgramTrace",
+    "TraceSimulator",
+    "relative_cycle_error",
+]
+
+#: Documented relative tolerance of the trace-vs-analytical contract: the
+#: Q16.16 quantisation of ``cycles_q16`` bounds each pass's error to
+#: ``0.5 / 65536`` cycles, which stays far below this per-model bound for
+#: every realistic cycles-per-pass value.
+TRACE_TOLERANCE = 1e-4
+
+# DEFAULT_SIMD_LANES (elements the SIMD core retires per cycle) is defined
+# canonically on repro.arch.controller and re-exported here via __all__.
+
+
+@dataclass(frozen=True)
+class LayerTrace:
+    """Replay result of one layer of a compiled program.
+
+    Attributes:
+        name: layer name.
+        segments: instruction-buffer refills the layer occupied.
+        instructions: encoded instructions of the layer.
+        dispatches: dispatched instructions (repeat counts expanded).
+        breakdown: the layer's per-unit cycle accounting.
+        peak_weight_buffer_bytes / peak_feature_buffer_bytes /
+        peak_meta_buffer_bytes: buffer-occupancy high-water marks observed
+            while replaying the layer's segments.
+    """
+
+    name: str
+    segments: int
+    instructions: int
+    dispatches: int
+    breakdown: CycleBreakdown
+    peak_weight_buffer_bytes: int
+    peak_feature_buffer_bytes: int
+    peak_meta_buffer_bytes: int
+
+
+@dataclass(frozen=True)
+class ProgramTrace:
+    """Replay result of one compiled whole-model program.
+
+    Attributes:
+        name: workload name.
+        variant: the Fig. 7 sparsity variant the program was compiled for.
+        layers: per-layer replay results, in network order.
+    """
+
+    name: str
+    variant: str
+    layers: Tuple[LayerTrace, ...]
+
+    @property
+    def breakdown(self) -> CycleBreakdown:
+        """Per-unit cycles merged over every layer."""
+        merged = CycleBreakdown()
+        for layer in self.layers:
+            merged = merged.merged(layer.breakdown)
+        return merged
+
+    @property
+    def compute_cycles(self) -> float:
+        """Broadcast cycles of the whole program (the contract quantity)."""
+        return sum(layer.breakdown.compute for layer in self.layers)
+
+    @property
+    def total_cycles(self) -> float:
+        """Scheduled cycles including non-hidden load/SIMD/write-back work."""
+        return sum(layer.breakdown.total for layer in self.layers)
+
+    @property
+    def instructions(self) -> int:
+        """Encoded instructions of the whole program."""
+        return sum(layer.instructions for layer in self.layers)
+
+    @property
+    def segments(self) -> int:
+        """Instruction-buffer refills of the whole program."""
+        return sum(layer.segments for layer in self.layers)
+
+
+class TraceSimulator:
+    """Replays compiled programs through the top controller.
+
+    Args:
+        config: base hardware configuration used when compiling inside
+            :meth:`run_model` (the paper default when omitted).
+        bytes_per_cycle: on-chip bus width pricing load/store traffic.
+        simd_lanes: SIMD elements retired per cycle.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DBPIMConfig] = None,
+        bytes_per_cycle: int = DEFAULT_BYTES_PER_CYCLE,
+        simd_lanes: int = DEFAULT_SIMD_LANES,
+    ) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        if simd_lanes <= 0:
+            raise ValueError("simd_lanes must be positive")
+        self.config = config or DBPIMConfig()
+        self.bytes_per_cycle = int(bytes_per_cycle)
+        self.simd_lanes = int(simd_lanes)
+
+    def run(self, compiled: CompiledModel) -> ProgramTrace:
+        """Replay one compiled model and aggregate its cycle accounting.
+
+        Each layer's segments are executed through a
+        :class:`~repro.arch.controller.TopController` built on the
+        *compiled* configuration (so buffer capacities match the program),
+        and the overlap decisions recorded by the compiler's passes drive
+        the hidden-cycle accounting.
+        """
+        controller = TopController(compiled.config)
+        layers = tuple(
+            self._replay_layer(controller, compiled, info)
+            for info in compiled.layers
+        )
+        return ProgramTrace(
+            name=compiled.name, variant=compiled.variant, layers=layers
+        )
+
+    def run_model(
+        self, profile: ModelSparsityProfile, variant: str = "hybrid"
+    ) -> ProgramTrace:
+        """Compile a profiled workload and replay it in one step."""
+        return self.run(compile_model(profile, config=self.config, variant=variant))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _replay_layer(
+        self,
+        controller: TopController,
+        compiled: CompiledModel,
+        info: CompiledLayerInfo,
+    ) -> LayerTrace:
+        """Execute one layer's segments and schedule its cycles."""
+        breakdown = CycleBreakdown()
+        instructions = 0
+        dispatches = 0
+        peak_weight = peak_feature = peak_meta = 0
+        for segment_index in info.segment_indices:
+            segment = compiled.program.segment_program(segment_index)
+            summary = controller.execute(segment)
+            busy = summary.busy_cycles(
+                bytes_per_cycle=self.bytes_per_cycle, simd_lanes=self.simd_lanes
+            )
+            breakdown = breakdown.merged(
+                self._schedule_segment(info, busy)
+            )
+            instructions += summary.instructions
+            dispatches += segment.total_dispatches()
+            peak_weight = max(peak_weight, summary.peak_weight_buffer_bytes)
+            peak_feature = max(peak_feature, summary.peak_feature_buffer_bytes)
+            peak_meta = max(peak_meta, summary.peak_meta_buffer_bytes)
+        return LayerTrace(
+            name=info.name,
+            segments=len(info.segment_indices),
+            instructions=instructions,
+            dispatches=dispatches,
+            breakdown=breakdown,
+            peak_weight_buffer_bytes=peak_weight,
+            peak_feature_buffer_bytes=peak_feature,
+            peak_meta_buffer_bytes=peak_meta,
+        )
+
+    @staticmethod
+    def _schedule_segment(info: CompiledLayerInfo, busy) -> CycleBreakdown:
+        """Apply the overlap model to one segment's busy-cycle tallies.
+
+        Double-buffered layers hide load cycles behind compute (up to the
+        compute length); hoisted-but-single-buffered layers still prefetch
+        their weight/metadata prologue behind compute.  The SIMD and
+        write-back tails are serial.
+        """
+        compute = busy["macro"]
+        weight_load = busy["dma_weight"]
+        metadata_load = busy["dma_metadata"]
+        feature_load = busy["dma_feature"]
+        if info.double_buffered:
+            hidden = min(compute, weight_load + metadata_load + feature_load)
+        elif info.hoisted:
+            hidden = min(compute, weight_load + metadata_load)
+        else:
+            hidden = 0.0
+        return CycleBreakdown(
+            compute=compute,
+            weight_load=weight_load,
+            feature_load=feature_load,
+            metadata_load=metadata_load,
+            simd=busy["simd"],
+            write_back=busy["write_back"],
+            hidden=hidden,
+        )
+
+
+def relative_cycle_error(
+    trace: ProgramTrace, performance: ModelPerformance
+) -> float:
+    """Relative error of the trace's compute cycles vs the analytical model.
+
+    Args:
+        trace: replay result of a compiled program.
+        performance: analytical result of the same (workload, variant,
+            configuration).
+
+    Returns:
+        ``|trace - analytical| / analytical`` (0 when both report zero
+        cycles).
+
+    Raises:
+        ValueError: when the two results describe different workloads or
+            variants.
+    """
+    if trace.name != performance.name or trace.variant != performance.variant:
+        raise ValueError(
+            f"mismatched results: trace is ({trace.name!r}, {trace.variant!r}), "
+            f"analytical is ({performance.name!r}, {performance.variant!r})"
+        )
+    analytical = performance.total_cycles
+    traced = trace.compute_cycles
+    if analytical == 0:
+        return 0.0 if traced == 0 else float("inf")
+    return abs(traced - analytical) / analytical

@@ -88,6 +88,28 @@ class ModelSparsityProfile:
     workload: ModelWorkload
     layers: Tuple[LayerSparsityProfile, ...]
 
+    def __len__(self) -> int:
+        """Number of profiled layers."""
+        return len(self.layers)
+
+    def __iter__(self):
+        """Iterate the per-layer profiles in network order."""
+        return iter(self.layers)
+
+    def layer(self, name: str) -> LayerSparsityProfile:
+        """Look one layer's profile up by layer name.
+
+        Raises:
+            KeyError: listing the available layer names.
+        """
+        for profile in self.layers:
+            if profile.layer.name == name:
+                return profile
+        raise KeyError(
+            f"unknown layer {name!r} of {self.workload.name!r}; available: "
+            f"{[p.layer.name for p in self.layers]}"
+        )
+
     def threshold_histogram(self) -> Dict[int, int]:
         histogram: Dict[int, int] = {}
         for profile in self.layers:

@@ -40,9 +40,12 @@ class TestErrorPaths:
 
 
 class TestRegistry:
-    def test_all_seven_experiments_registered(self):
+    def test_all_experiments_registered(self):
         ids = [spec.id for spec in list_experiments()]
-        assert ids == ["fig2a", "fig2b", "fig7", "table1", "table2", "table3", "table4"]
+        assert ids == [
+            "fig2a", "fig2b", "fig7", "table1", "table2", "table3", "table4",
+            "program",
+        ]
 
     def test_spec_lookup_is_case_insensitive(self):
         assert get_experiment_spec("FIG7").id == "fig7"

@@ -1,0 +1,102 @@
+"""Tests for the ``program`` experiment: façade, CLI, sweep and caching."""
+
+import pytest
+
+from repro.api import Experiment, ExperimentResult, run_sweep
+from repro.api.cli import main
+from repro.api.results import ProgramRow, row_from_dict, row_to_dict
+from repro.sim.cycle_model import SPARSITY_VARIANTS
+from repro.sim.trace import TRACE_TOLERANCE
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Experiment(seed=0)
+
+
+@pytest.fixture(scope="module")
+def result(session):
+    return session.run("program", models=["alexnet"])
+
+
+class TestFacade:
+    def test_rows_cover_every_variant(self, result):
+        assert result.experiment == "program"
+        (row,) = result.rows
+        assert isinstance(row, ProgramRow)
+        assert row.model == "alexnet"
+        for mapping in (
+            row.instructions,
+            row.segments,
+            row.trace_cycles,
+            row.analytical_cycles,
+            row.scheduled_cycles,
+            row.hidden_fraction,
+        ):
+            assert set(mapping) == set(SPARSITY_VARIANTS)
+
+    def test_trace_matches_analytical_within_tolerance(self, result):
+        (row,) = result.rows
+        assert row.max_relative_error <= TRACE_TOLERANCE
+        for variant in SPARSITY_VARIANTS:
+            assert row.trace_cycles[variant] == pytest.approx(
+                row.analytical_cycles[variant], rel=TRACE_TOLERANCE
+            )
+            # Scheduling only ever adds non-hidden load/SIMD/tail cycles.
+            assert row.scheduled_cycles[variant] >= row.trace_cycles[variant]
+            assert 0.0 <= row.hidden_fraction[variant] < 1.0
+
+    def test_compiled_models_are_memoised(self, session):
+        first = session.compile_model("alexnet", "hybrid")
+        assert session.compile_model("alexnet", "hybrid") is first
+        assert session.compile_model("alexnet", "base") is not first
+
+    def test_trace_model_entry_point(self, session):
+        trace = session.trace_model("alexnet", "hybrid")
+        assert trace.name == "alexnet"
+        assert trace.compute_cycles > 0
+
+    def test_row_round_trips_through_json(self, result):
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored == result
+        (row,) = result.rows
+        assert row_from_dict("program", row_to_dict(row)) == row
+
+
+class TestSweepIntegration:
+    def test_program_points_cache_and_reload(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        kwargs = dict(
+            experiments=("program",), models=("alexnet",), cache_dir=cache_dir
+        )
+        cold = run_sweep(**kwargs)
+        assert cold.cache_misses == 1 and cold.cache_hits == 0
+        warm = run_sweep(**kwargs)
+        assert warm.cache_hits == 1 and warm.cache_misses == 0
+        assert warm.results == cold.results
+        (row,) = warm.results[0].rows
+        assert row.max_relative_error <= TRACE_TOLERANCE
+
+
+class TestCLI:
+    def test_run_program_prints_table_and_json(self, capsys, tmp_path):
+        out_path = tmp_path / "program.json"
+        code = main(
+            ["run", "program", "--models", "alexnet", "--json", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace Mcyc" in out and "alexnet" in out
+        loaded = ExperimentResult.load(out_path)
+        assert loaded.experiment == "program"
+
+    def test_engine_trace_accepted_for_program(self, capsys):
+        code = main(
+            ["run", "program", "--models", "alexnet", "--engine", "trace", "--quiet"]
+        )
+        assert code == 0
+
+    def test_engine_trace_rejected_elsewhere(self, capsys):
+        assert main(["run", "fig7", "--engine", "trace"]) == 2
+        err = capsys.readouterr().err
+        assert "only" in err and "program" in err

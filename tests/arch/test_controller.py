@@ -70,3 +70,91 @@ class TestTopController:
         assert summary.instructions == 1
         assert summary.broadcast_cycles == 0
         assert summary.opcode_counts == {"barrier": 1}
+
+
+class TestSegmentAwareChecking:
+    def _segmented_program(self, sizes):
+        program = Program()
+        for index, size in enumerate(sizes):
+            program.open_segment(f"segment-{index}", layer=f"layer-{index}")
+            for _ in range(size):
+                program.append(Opcode.BARRIER)
+            program.close_segment()
+        return program
+
+    def test_overflow_error_names_the_offending_segment(self):
+        # Two instructions fit (16 bytes); the middle segment holds three.
+        tiny = DBPIMConfig(buffers=BufferConfig(instruction_buffer=16))
+        program = self._segmented_program([2, 3, 1])
+        with pytest.raises(ValueError) as excinfo:
+            TopController(tiny).check_program(program)
+        message = str(excinfo.value)
+        assert "segment 1" in message
+        assert "segment-1" in message
+        assert "3 instructions" in message
+        assert "24 bytes" in message
+        assert "16-byte instruction buffer" in message
+
+    def test_segmented_program_larger_than_buffer_is_accepted(self):
+        # Whole program: 80 bytes > 32-byte buffer, but every segment (one
+        # refill) fits -- exactly what whole-model programs rely on.
+        config = DBPIMConfig(buffers=BufferConfig(instruction_buffer=32))
+        program = self._segmented_program([4, 4, 2])
+        controller = TopController(config)
+        controller.check_program(program)
+        summary = controller.execute(program)
+        assert summary.instructions == 10
+
+    def test_flat_program_keeps_whole_program_check(self, fc_layer):
+        tiny = DBPIMConfig(
+            buffers=BufferConfig(instruction_buffer=16)
+        ).dense_baseline()
+        program = generate_layer_program(fc_layer, tiny)
+        assert not program.segments
+        with pytest.raises(ValueError, match="instruction buffer"):
+            TopController(tiny).check_program(program)
+
+
+class TestUpgradedAccounting:
+    def test_q16_broadcast_cycles_resolve_fractionally(self):
+        program = Program()
+        # 2.5 cycles per pass, dispatched 4 times.
+        program.append(Opcode.BROADCAST, cycles=2, cycles_q16=2 * 65536 + 32768, repeats=4)
+        summary = TopController().execute(program)
+        assert summary.broadcast_cycles == pytest.approx(10.0)
+        assert summary.estimated_compute_cycles == summary.broadcast_cycles
+
+    def test_byte_traffic_and_occupancy_tallies(self):
+        program = Program()
+        program.append(Opcode.LOAD_WEIGHTS, bytes=100)
+        program.append(Opcode.LOAD_METADATA, bytes=50)
+        program.append(Opcode.LOAD_FEATURES, bytes=64, repeats=2)
+        program.append(Opcode.LOAD_FEATURES, bytes=64)
+        program.append(Opcode.ACCUMULATE)  # retires the first feature tile
+        program.append(Opcode.BARRIER)  # retires the iteration
+        program.append(Opcode.LOAD_WEIGHTS, bytes=30)
+        program.append(Opcode.WRITE_BACK, elements=16)
+        summary = TopController().execute(program)
+        assert summary.weight_bytes == 130
+        assert summary.metadata_bytes == 50
+        assert summary.feature_bytes == 64 * 2 + 64
+        assert summary.peak_weight_buffer_bytes == 100
+        assert summary.peak_meta_buffer_bytes == 50
+        assert summary.peak_feature_buffer_bytes == 128
+        assert summary.write_back_elements == 16
+        assert summary.write_back_bytes == 16
+
+    def test_busy_cycles_pricing(self):
+        program = Program()
+        program.append(Opcode.BROADCAST, cycles=8)
+        program.append(Opcode.LOAD_FEATURES, bytes=65)
+        program.append(Opcode.SIMD_OP, elements=33)
+        program.append(Opcode.WRITE_BACK, elements=10)
+        summary = TopController().execute(program)
+        busy = summary.busy_cycles(bytes_per_cycle=64, simd_lanes=16)
+        assert busy["macro"] == pytest.approx(8.0)
+        assert busy["dma_feature"] == 2  # ceil(65 / 64)
+        assert busy["simd"] == 3  # ceil(33 / 16)
+        assert busy["write_back"] == 1
+        with pytest.raises(ValueError):
+            summary.busy_cycles(bytes_per_cycle=0)

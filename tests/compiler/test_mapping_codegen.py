@@ -123,6 +123,109 @@ class TestMapping:
         assert mapping.output_positions == 64
 
 
+class TestMappingEdgeCases:
+    """Edge-case invariants the overlap scheduler and splitter rely on."""
+
+    def _invariants(self, mapping, config):
+        # Every scheduler assumption: positive loop bounds, tiles covering
+        # the reduction, bounded cycles-per-pass, bounded cell activity.
+        assert mapping.filter_iterations >= 1
+        assert mapping.filters_per_pass >= 1
+        assert mapping.input_tiles >= 1
+        assert mapping.input_tiles * config.macro.rows >= mapping.layer.reduction_size
+        assert (mapping.input_tiles - 1) * config.macro.rows < mapping.layer.reduction_size
+        assert mapping.output_positions == mapping.layer.output_positions
+        assert 0.0 <= mapping.cycles_per_pass <= config.macro.input_bits
+        assert mapping.weights_per_pass_cells <= (
+            config.macro.cells * config.num_macros
+        )
+        assert mapping.total_passes == (
+            mapping.filter_iterations
+            * mapping.input_tiles
+            * mapping.output_positions
+        )
+
+    def test_depthwise_layer(self):
+        layer = LayerShape(
+            name="dw", kind=LayerKind.DEPTHWISE, in_channels=96, out_channels=96,
+            kernel_size=3, stride=1, input_size=16, padding=1,
+        )
+        config = DBPIMConfig().dense_baseline()
+        mapping = map_layer(layer, config)
+        self._invariants(mapping, config)
+        # A depthwise reduction is only k*k deep: one tile, 9 rows used.
+        assert layer.reduction_size == 9
+        assert mapping.input_tiles == 1
+        assert mapping.weights_per_pass_cells == (
+            config.macro.columns * 9 * config.num_macros
+        )
+
+    def test_fc_layer_single_output_position(self):
+        layer = LayerShape(
+            name="fc", kind=LayerKind.LINEAR, in_channels=4096, out_channels=1000
+        )
+        config = DBPIMConfig().dense_baseline()
+        mapping = map_layer(layer, config)
+        self._invariants(mapping, config)
+        assert mapping.output_positions == 1
+        assert mapping.input_tiles == 4096 // 64
+        # Non-multiple filter counts round the iteration count up.
+        per_pass = config.macro.dense_filters_per_macro * config.num_macros
+        assert mapping.filter_iterations == -(-1000 // per_pass)
+
+    def test_strided_conv_shrinks_output_positions(self):
+        config = DBPIMConfig().dense_baseline()
+        stride1 = map_layer(
+            LayerShape(
+                name="s1", kind=LayerKind.CONV, in_channels=32, out_channels=64,
+                kernel_size=3, stride=1, input_size=32, padding=1,
+            ),
+            config,
+        )
+        stride2 = map_layer(
+            LayerShape(
+                name="s2", kind=LayerKind.CONV, in_channels=32, out_channels=64,
+                kernel_size=3, stride=2, input_size=32, padding=1,
+            ),
+            config,
+        )
+        self._invariants(stride2, config)
+        assert stride1.output_positions == 32 * 32
+        assert stride2.output_positions == 16 * 16
+        # Stride only changes the output loop, never the per-pass shape.
+        assert stride2.cycles_per_pass == stride1.cycles_per_pass
+        assert stride2.input_tiles == stride1.input_tiles
+        assert stride2.total_cycles == pytest.approx(stride1.total_cycles / 4)
+
+    def test_filters_at_max_fta_threshold(self, conv_layer):
+        from repro.compiler.mapping import MAX_FTA_THRESHOLD
+
+        config = DBPIMConfig().weight_sparsity_only()
+        thresholds = np.full(
+            conv_layer.out_channels, MAX_FTA_THRESHOLD, dtype=np.int64
+        )
+        mapping = map_layer(conv_layer, config, thresholds=thresholds)
+        self._invariants(mapping, config)
+        per_pass = (
+            config.macro.columns // MAX_FTA_THRESHOLD
+        ) * config.num_macros
+        assert mapping.filters_per_pass == per_pass
+        assert mapping.filter_iterations == -(-conv_layer.out_channels // per_pass)
+        # phi = 4 still beats the dense baseline's 2 filters per macro.
+        dense = map_layer(conv_layer, config.dense_baseline())
+        assert mapping.total_cycles < dense.total_cycles
+
+    def test_all_zero_filters_map_like_phi_one(self, conv_layer):
+        config = DBPIMConfig().weight_sparsity_only()
+        zeros = np.zeros(conv_layer.out_channels, dtype=np.int64)
+        ones = np.ones(conv_layer.out_channels, dtype=np.int64)
+        zero_mapping = map_layer(conv_layer, config, thresholds=zeros)
+        one_mapping = map_layer(conv_layer, config, thresholds=ones)
+        self._invariants(zero_mapping, config)
+        assert zero_mapping.filter_iterations == one_mapping.filter_iterations
+        assert zero_mapping.filters_per_pass == one_mapping.filters_per_pass
+
+
 class TestCodegen:
     def test_program_structure(self, fc_layer):
         config = DBPIMConfig().dense_baseline()

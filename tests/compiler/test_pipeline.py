@@ -1,0 +1,289 @@
+"""Tests for the whole-model pass pipeline, its IR and the segmented ISA."""
+
+import pytest
+
+from repro.arch.config import BufferConfig, DBPIMConfig
+from repro.compiler.isa import CYCLE_SCALE, Opcode, Program
+from repro.compiler.passes import (
+    MappingPass,
+    OverlapPass,
+    SplitPass,
+    ThresholdAssignmentPass,
+    instructions_per_iteration,
+)
+from repro.compiler.pipeline import (
+    CompilationError,
+    PassManager,
+    compile_model,
+    default_passes,
+    lower_model,
+)
+from repro.compiler.schedule import (
+    ProgramSplitError,
+    TransferModel,
+    decide_overlap,
+    layer_transfer_bytes,
+    plan_layer_segments,
+)
+from repro.workloads.models import get_workload
+from repro.workloads.profiles import profile_model
+
+
+@pytest.fixture(scope="module")
+def alexnet_profile():
+    return profile_model(get_workload("alexnet"), seed=0)
+
+
+@pytest.fixture(scope="module")
+def compiled_hybrid(alexnet_profile):
+    return compile_model(alexnet_profile, variant="hybrid")
+
+
+class TestLowerAndPasses:
+    def test_lower_applies_variant_flags(self, alexnet_profile):
+        module = lower_model(alexnet_profile, variant="base")
+        assert not module.config.weight_sparsity
+        assert not module.config.input_sparsity
+        assert len(module.layers) == len(alexnet_profile.layers)
+        assert module.pass_log == []
+
+    def test_pass_manager_records_pass_log(self, alexnet_profile):
+        module = lower_model(alexnet_profile, variant="hybrid")
+        PassManager(default_passes(module)).run(module)
+        assert module.pass_log == [
+            "assign-thresholds",
+            "map-tiling",
+            "overlap-double-buffer",
+            "split-instruction-buffer",
+        ]
+
+    def test_threshold_pass_respects_variant(self, alexnet_profile):
+        dense = lower_model(alexnet_profile, variant="base")
+        ThresholdAssignmentPass().run(dense)
+        assert all(n.thresholds is None for n in dense.layers)
+        assert all(n.input_active_columns is None for n in dense.layers)
+
+        hybrid = lower_model(alexnet_profile, variant="hybrid")
+        ThresholdAssignmentPass().run(hybrid)
+        for node, layer_profile in zip(hybrid.layers, alexnet_profile.layers):
+            assert node.thresholds == tuple(layer_profile.thresholds)
+            assert node.input_active_columns == pytest.approx(
+                layer_profile.input_active_columns
+            )
+
+    def test_mapping_pass_requires_thresholds_for_sparse(self, alexnet_profile):
+        module = lower_model(alexnet_profile, variant="hybrid")
+        # Skipping the threshold pass leaves thresholds None, which the
+        # mapper rejects for a weight-sparse configuration.
+        with pytest.raises(ValueError, match="thresholds"):
+            MappingPass().run(module)
+
+    def test_split_pass_requires_mapping(self, alexnet_profile):
+        module = lower_model(alexnet_profile, variant="base")
+        with pytest.raises(CompilationError, match="mapping"):
+            SplitPass().run(module)
+
+    def test_overlap_decisions_follow_buffer_capacities(self, alexnet_profile):
+        module = lower_model(alexnet_profile, variant="base")
+        PassManager([ThresholdAssignmentPass(), MappingPass()]).run(module)
+        OverlapPass().run(module)
+        for node in module.layers:
+            decision = decide_overlap(node.mapping, module.config)
+            assert node.overlap == decision
+            transfers = layer_transfer_bytes(node.mapping, module.config)
+            total_weight_bytes = (
+                transfers.weight_bytes_per_iteration
+                * node.mapping.filter_iterations
+            )
+            assert decision.hoist_weight_loads == (
+                total_weight_bytes <= module.config.buffers.weight_buffer
+            )
+
+
+class TestSegmentPlanning:
+    def test_plans_cover_all_iterations_without_overlap(self):
+        plans = plan_layer_segments(
+            "layer",
+            iterations=20,
+            load_instructions=2,
+            tile_instructions=40,
+            epilogue_instructions=2,
+            hoisted=False,
+            capacity_bytes=100 * 8,
+        )
+        covered = []
+        for plan in plans:
+            covered.extend(range(plan.start_iteration, plan.stop_iteration))
+        assert covered == list(range(20))
+        assert sum(p.epilogue for p in plans) == 1
+        capacity = 100
+        for plan in plans:
+            size = plan.iterations * (40 + 1 + 2)
+            size += plan.hoisted_iterations * 2
+            size += 2 if plan.epilogue else 0
+            assert size <= capacity
+
+    def test_single_iteration_overflow_raises(self):
+        with pytest.raises(ProgramSplitError, match="filter iteration"):
+            plan_layer_segments(
+                "huge",
+                iterations=1,
+                load_instructions=2,
+                tile_instructions=5000,
+                epilogue_instructions=2,
+                hoisted=False,
+                capacity_bytes=16 * 1024,
+            )
+
+    def test_oversized_hoist_prologue_downgrades_to_streaming(self):
+        plans = plan_layer_segments(
+            "layer",
+            iterations=50,
+            load_instructions=2,
+            tile_instructions=20,
+            epilogue_instructions=2,
+            hoisted=True,
+            capacity_bytes=60 * 8,  # prologue (100) alone exceeds capacity
+        )
+        assert all(p.hoisted_iterations == 0 for p in plans)
+
+    def test_transfer_model_prices_bytes(self):
+        transfer = TransferModel(bytes_per_cycle=64)
+        assert transfer.cycles(0) == 0
+        assert transfer.cycles(1) == 1
+        assert transfer.cycles(64) == 1
+        assert transfer.cycles(65) == 2
+        with pytest.raises(ValueError):
+            TransferModel(bytes_per_cycle=0)
+
+
+class TestCompileModel:
+    def test_whole_model_program_structure(self, alexnet_profile, compiled_hybrid):
+        compiled = compiled_hybrid
+        program = compiled.program
+        assert len(compiled.layers) == len(alexnet_profile.layers)
+        assert program.segments  # whole-model programs are always segmented
+        # Segments tile the stream contiguously and never span layers.
+        position = 0
+        for segment in program.segments:
+            assert segment.start == position
+            position = segment.stop
+            assert segment.layer is not None
+        assert position == len(program)
+        # Every segment fits one instruction-buffer refill.
+        capacity = compiled.config.buffers.instruction_buffer
+        assert all(s.size_bytes() <= capacity for s in program.segments)
+
+    def test_per_layer_counts_match_mapping(self, compiled_hybrid):
+        program = compiled_hybrid.program
+        for info in compiled_hybrid.layers:
+            segments = [program.segment_program(i) for i in info.segment_indices]
+            broadcasts = sum(s.count(Opcode.BROADCAST) for s in segments)
+            weight_loads = sum(s.count(Opcode.LOAD_WEIGHTS) for s in segments)
+            write_backs = sum(s.count(Opcode.WRITE_BACK) for s in segments)
+            assert broadcasts == info.filter_iterations * info.input_tiles
+            assert weight_loads == info.filter_iterations
+            assert write_backs == 1
+
+    def test_metadata_only_emitted_under_weight_sparsity(self, alexnet_profile):
+        dense = compile_model(alexnet_profile, variant="base")
+        sparse = compile_model(alexnet_profile, variant="weight")
+        assert dense.program.count(Opcode.LOAD_METADATA) == 0
+        assert sparse.program.count(Opcode.LOAD_METADATA) > 0
+
+    def test_expected_compute_cycles_use_q16_operands(self, compiled_hybrid):
+        program = compiled_hybrid.program
+        total = 0
+        for instruction in program:
+            if instruction.opcode is Opcode.BROADCAST:
+                total += instruction.operand("cycles_q16") * instruction.repeats
+        assert total / CYCLE_SCALE == pytest.approx(
+            compiled_hybrid.expected_compute_cycles
+        )
+
+    def test_layer_lookup(self, compiled_hybrid):
+        info = compiled_hybrid.layer(compiled_hybrid.layers[0].name)
+        assert info is compiled_hybrid.layers[0]
+        with pytest.raises(KeyError):
+            compiled_hybrid.layer("no-such-layer")
+
+    def test_missing_pass_fails_loudly(self, alexnet_profile):
+        with pytest.raises(CompilationError, match="mapping"):
+            compile_model(
+                alexnet_profile, variant="base", passes=[ThresholdAssignmentPass()]
+            )
+
+    def test_tiny_instruction_buffer_rejected_at_compile_time(self, alexnet_profile):
+        tiny = DBPIMConfig(buffers=BufferConfig(instruction_buffer=16))
+        with pytest.raises(CompilationError, match="instruction"):
+            compile_model(alexnet_profile, config=tiny, variant="base")
+
+
+class TestProgramCompaction:
+    def test_instructions_are_interned(self, compiled_hybrid):
+        program = compiled_hybrid.program
+        # The stream is large but backed by a tiny pool of unique objects.
+        assert len(program) > 10_000
+        assert program.unique_instructions < 300
+        broadcasts = [
+            i for i in program.instructions if i.opcode is Opcode.BROADCAST
+        ]
+        by_key = {}
+        for instruction in broadcasts:
+            key = tuple(sorted(instruction.operands.items()))
+            by_key.setdefault(key, instruction)
+            assert by_key[key] is instruction  # identical operands => same object
+
+    def test_repeat_count_semantics(self):
+        program = Program()
+        program.append(Opcode.LOAD_FEATURES, repeats=3)
+        program.append(Opcode.BROADCAST, cycles=8, repeats=3)
+        program.append(Opcode.BARRIER)
+        # Encoded length counts instructions once; dispatches expand repeats.
+        assert len(program) == 3
+        assert program.total_dispatches() == 7
+        expanded = list(program.iter_dispatches())
+        assert len(expanded) == 7
+        assert [i.opcode for i in expanded[:3]] == [Opcode.LOAD_FEATURES] * 3
+        # The streaming iterator is lazy.
+        import types
+
+        assert isinstance(program.iter_dispatches(), types.GeneratorType)
+
+    def test_segment_slicing(self, compiled_hybrid):
+        program = compiled_hybrid.program
+        first = program.segment_program(0)
+        segment = program.segments[0]
+        assert len(first) == segment.num_instructions
+        assert first.instructions == program.instructions[segment.start : segment.stop]
+        sliced = program[segment.start : segment.stop]
+        assert sliced.instructions == first.instructions
+        assert program[0] is program.instructions[0]
+
+    def test_extend_rebases_segments(self):
+        a = Program()
+        a.open_segment("s0")
+        a.append(Opcode.BARRIER)
+        a.close_segment()
+        b = Program()
+        b.open_segment("s1")
+        b.append(Opcode.BARRIER)
+        b.append(Opcode.BARRIER)
+        b.close_segment()
+        a.extend(b)
+        assert [(s.name, s.start, s.stop) for s in a.segments] == [
+            ("s0", 0, 1),
+            ("s1", 1, 3),
+        ]
+
+    def test_segment_bookkeeping_errors(self):
+        program = Program()
+        program.open_segment("s")
+        with pytest.raises(ValueError, match="still open"):
+            program.open_segment("t")
+        assert program.close_segment() is None  # empty segments are dropped
+        with pytest.raises(ValueError, match="no segment"):
+            program.close_segment()
+
+    def test_instructions_per_iteration_helper(self):
+        assert instructions_per_iteration(input_tiles=3, load_instructions=2) == 15

@@ -1,0 +1,148 @@
+"""Trace-vs-analytical equivalence suite and trace simulator tests.
+
+The contract (see ``docs/compiler.md``): for every registered hardware
+preset, every workload and every Fig. 7 sparsity variant, replaying the
+compiled whole-model program on the trace simulator reproduces the
+analytical cycle model's per-model broadcast cycles within
+``TRACE_TOLERANCE`` (the Q16.16 quantisation bound of the ``cycles_q16``
+broadcast operand).
+"""
+
+import pytest
+
+from repro.api.configs import get_config, list_configs
+from repro.compiler.pipeline import compile_model
+from repro.sim.cycle_model import CycleModel, SPARSITY_VARIANTS
+from repro.sim.metrics import CycleBreakdown
+from repro.sim.trace import (
+    TRACE_TOLERANCE,
+    ProgramTrace,
+    TraceSimulator,
+    relative_cycle_error,
+)
+from repro.workloads.models import get_workload, list_workloads
+from repro.workloads.profiles import profile_model
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {
+        model: profile_model(get_workload(model), seed=0)
+        for model in list_workloads()
+    }
+
+
+@pytest.mark.parametrize("preset", list_configs())
+def test_trace_matches_analytical_cycles(preset, profiles):
+    """The acceptance grid: every preset x workload x variant agrees."""
+    config = get_config(preset)
+    cycle_model = CycleModel(config)
+    simulator = TraceSimulator(config)
+    for model, profile in profiles.items():
+        analytical = cycle_model.run_all_variants(profile)
+        for variant in SPARSITY_VARIANTS:
+            compiled = compile_model(profile, config=config, variant=variant)
+            trace = simulator.run(compiled)
+            error = relative_cycle_error(trace, analytical[variant])
+            assert error <= TRACE_TOLERANCE, (
+                f"{preset}/{model}/{variant}: trace {trace.compute_cycles} vs "
+                f"analytical {analytical[variant].total_cycles} "
+                f"(rel err {error:.3e})"
+            )
+            # The stream self-describes its compute cycles exactly.
+            assert trace.compute_cycles == pytest.approx(
+                compiled.expected_compute_cycles
+            )
+
+
+class TestTraceInternals:
+    @pytest.fixture(scope="class")
+    def traced(self, profiles):
+        simulator = TraceSimulator()
+        compiled = compile_model(profiles["alexnet"], variant="hybrid")
+        return compiled, simulator.run(compiled)
+
+    def test_per_layer_cycles_match_analytical_layers(self, profiles, traced):
+        _, trace = traced
+        performance = CycleModel().run_model(profiles["alexnet"], "hybrid")
+        assert len(trace.layers) == len(performance.layers)
+        for layer_trace, layer_perf in zip(trace.layers, performance.layers):
+            assert layer_trace.name == layer_perf.layer.name
+            assert layer_trace.breakdown.compute == pytest.approx(
+                layer_perf.cycles, rel=TRACE_TOLERANCE
+            )
+
+    def test_breakdown_accounting_is_consistent(self, traced):
+        _, trace = traced
+        breakdown = trace.breakdown
+        assert breakdown.total == pytest.approx(
+            breakdown.serial - breakdown.hidden
+        )
+        assert breakdown.total >= breakdown.compute
+        assert 0.0 <= breakdown.hidden_fraction < 1.0
+        assert trace.total_cycles == pytest.approx(
+            sum(l.breakdown.total for l in trace.layers)
+        )
+
+    def test_buffer_occupancy_tracking(self, traced):
+        compiled, trace = traced
+        buffers = compiled.config.buffers
+        by_name = {info.name: info for info in compiled.layers}
+        for layer in trace.layers:
+            # Feature tiles are bounded by the macro's row depth and always
+            # fit; hoisting guarantees the whole weight/metadata footprint
+            # fits its buffer (that is the hoist legality condition).
+            assert 0 < layer.peak_feature_buffer_bytes <= buffers.feature_buffer
+            assert layer.peak_weight_buffer_bytes > 0
+            if by_name[layer.name].hoisted:
+                assert layer.peak_weight_buffer_bytes <= buffers.weight_buffer
+                assert layer.peak_meta_buffer_bytes <= buffers.meta_buffer
+            assert layer.dispatches >= layer.instructions
+
+    def test_overlap_hides_cycles_for_double_buffered_layers(self, traced):
+        compiled, trace = traced
+        by_name = {info.name: info for info in compiled.layers}
+        for layer in trace.layers:
+            info = by_name[layer.name]
+            if info.double_buffered and layer.breakdown.load > 0:
+                assert layer.breakdown.hidden > 0
+            if not info.double_buffered and not info.hoisted:
+                assert layer.breakdown.hidden == 0
+
+    def test_run_model_convenience(self, profiles):
+        trace = TraceSimulator().run_model(profiles["alexnet"], "base")
+        assert isinstance(trace, ProgramTrace)
+        assert trace.variant == "base"
+        assert trace.compute_cycles > 0
+
+    def test_mismatched_results_rejected(self, profiles, traced):
+        _, trace = traced
+        other = CycleModel().run_model(profiles["alexnet"], "base")
+        with pytest.raises(ValueError, match="mismatched"):
+            relative_cycle_error(trace, other)
+
+    def test_invalid_simulator_parameters(self):
+        with pytest.raises(ValueError):
+            TraceSimulator(bytes_per_cycle=0)
+        with pytest.raises(ValueError):
+            TraceSimulator(simd_lanes=0)
+
+
+class TestCycleBreakdown:
+    def test_merge_and_dict_round_trip(self):
+        a = CycleBreakdown(compute=10.0, feature_load=4.0, hidden=2.0)
+        b = CycleBreakdown(compute=5.0, simd=1.0)
+        merged = a.merged(b)
+        assert merged.compute == 15.0
+        assert merged.feature_load == 4.0
+        assert merged.simd == 1.0
+        assert merged.hidden == 2.0
+        payload = merged.as_dict()
+        assert payload["total"] == pytest.approx(merged.total)
+        assert payload["compute"] == 15.0
+
+    def test_empty_breakdown_edges(self):
+        empty = CycleBreakdown()
+        assert empty.serial == 0.0
+        assert empty.total == 0.0
+        assert empty.hidden_fraction == 0.0
