@@ -5,9 +5,13 @@ pass-based pipeline compiling the whole network into a segmented program
 (``repro.compiler.pipeline.compile_model``) and (b) the trace simulator
 replaying that program (``repro.sim.trace.TraceSimulator.run``), verifying
 on the way that the traced broadcast cycles match the analytical cycle
-model within the documented tolerance.  Results land in
-``BENCH_compile.json`` so the repository accumulates a compile/replay perf
-trajectory across PRs, next to ``BENCH_cycle_model.json``.
+model within the documented tolerance.  The default workload set covers
+every registered family -- the five paper CNNs *and* the graph-only
+transformer workloads -- and each row records the workload's graph
+structure (nodes, joins, residual traffic), so the benchmark tracks the
+graph-aware pipeline too.  Results land in ``BENCH_compile.json`` so the
+repository accumulates a compile/replay perf trajectory across PRs, next
+to ``BENCH_cycle_model.json``.
 
 Workload profiling is timed separately and excluded from the per-stage
 numbers -- the benchmark isolates the compiler and the trace executor.
@@ -67,7 +71,8 @@ def run_benchmark(
         "models": {},
     }
     for model in models:
-        profile = profile_model(get_workload(model), seed=0)
+        workload = get_workload(model)
+        profile = profile_model(workload, seed=0)
         compiled = compile_model(profile, config=config, variant=variant)
         trace = simulator.run(compiled)
         # Correctness gate: the replay must agree with the analytical model
@@ -85,10 +90,14 @@ def run_benchmark(
         )
         trace_s = _best_of(repeats, lambda: simulator.run(compiled))
         instructions = len(compiled.program)
+        graph = workload.graph
         report["models"][model] = {
             "instructions": instructions,
             "segments": len(compiled.program.segments),
             "unique_instructions": compiled.program.unique_instructions,
+            "graph_nodes": len(graph) if graph is not None else None,
+            "graph_joins": len(graph.join_nodes()) if graph is not None else 0,
+            "residual_feature_bytes": trace.residual_feature_bytes,
             "compile_s": compile_s,
             "trace_s": trace_s,
             "trace_minstr_per_s": (
@@ -126,7 +135,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.repeats <= 0:
         parser.error("--repeats must be positive")
-    models: List[str] = args.models or list_workloads()
+    models: List[str] = args.models or list_workloads(family=None)
 
     report = run_benchmark(args.preset, models, args.variant, args.repeats)
     output = Path(args.output)

@@ -75,6 +75,25 @@ def test_bench_compile_emits_report(tmp_path):
     assert entry["max_relative_error"] <= 1e-4
 
 
+def test_bench_compile_graph_workload_row(tmp_path):
+    """The bench covers graph workloads: a transformer row with joins."""
+    output = tmp_path / "BENCH_compile.json"
+    code = bench_compile.main(
+        [
+            "--preset", "paper-28nm",
+            "--models", "vit_tiny",
+            "--variant", "hybrid",
+            "--repeats", "1",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    entry = json.loads(output.read_text())["models"]["vit_tiny"]
+    assert entry["graph_nodes"] > entry["graph_joins"] > 0
+    assert entry["residual_feature_bytes"] > 0
+    assert entry["max_relative_error"] <= 1e-4
+
+
 def test_bench_compile_rejects_bad_repeats(tmp_path, capsys):
     import pytest
 

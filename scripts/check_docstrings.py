@@ -1,5 +1,5 @@
 """Fail if any public API of ``repro.api`` / ``repro.sim`` /
-``repro.compiler`` lacks a docstring.
+``repro.compiler`` / ``repro.workloads`` lacks a docstring.
 
 Run as part of the ``docs`` CI job (and locally before sending a PR):
 
@@ -19,7 +19,7 @@ import pkgutil
 import sys
 from typing import Iterator, List, Tuple
 
-PACKAGES = ("repro.api", "repro.sim", "repro.compiler")
+PACKAGES = ("repro.api", "repro.sim", "repro.compiler", "repro.workloads")
 
 
 def _iter_modules(package_name: str) -> Iterator[object]:

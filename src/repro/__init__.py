@@ -42,7 +42,7 @@ from .api import (
     run_sweep,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "api",

@@ -56,6 +56,7 @@ from .results import (
     AreaRow,
     ComparisonColumn,
     ExperimentResult,
+    GraphRow,
     InputSparsityRow,
     ProgramRow,
     SparsityBenefitRow,
@@ -92,6 +93,7 @@ __all__ = [
     "WeightSparsityRow",
     "InputSparsityRow",
     "ProgramRow",
+    "GraphRow",
     "SparsityBenefitRow",
     "SparsitySupportRow",
     "AccuracyRow",

@@ -75,11 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "experiment",
-        help="experiment id (fig2a, fig2b, fig7, table1..table4, program)",
+        help="experiment id (fig2a, fig2b, fig7, table1..table4, program, "
+        "graph)",
     )
     run_parser.add_argument(
-        "--models", nargs="+", default=None, metavar="MODEL",
-        help="workloads to run (default: all five paper models)",
+        "--models", "--workload", "--workloads", nargs="+", default=None,
+        dest="models", metavar="MODEL",
+        help="workloads to run (default: all five paper models; transformer "
+        "workloads such as vit_tiny by explicit name -- see 'repro list')",
     )
     run_parser.add_argument(
         "--config", default=None, metavar="PRESET",
@@ -159,10 +162,29 @@ def _emit_json(payload: str, destination: str) -> None:
             handle.write(payload + "\n")
 
 
-def _command_list(args: argparse.Namespace) -> int:
-    from ..workloads.models import list_workloads
+def _workload_entries() -> list:
+    """One descriptor per registered workload, graph structure included."""
+    from ..workloads.models import get_workload, list_workloads, workload_family
 
+    entries = []
+    for name in list_workloads(family=None):
+        workload = get_workload(name)
+        graph = workload.graph
+        entries.append(
+            {
+                "name": name,
+                "family": workload_family(name),
+                "layers": len(workload.layers),
+                "graph_nodes": len(graph) if graph is not None else None,
+                "joins": len(graph.join_nodes()) if graph is not None else 0,
+            }
+        )
+    return entries
+
+
+def _command_list(args: argparse.Namespace) -> int:
     specs = list_experiments()
+    workloads = _workload_entries()
     if args.json:
         payload: Dict[str, Any] = {
             "experiments": [
@@ -175,7 +197,8 @@ def _command_list(args: argparse.Namespace) -> int:
                 }
                 for spec in specs
             ],
-            "workloads": list_workloads(),
+            "workloads": [entry["name"] for entry in workloads],
+            "graphs": workloads,
             "configs": list_configs(),
         }
         print(json.dumps(payload, indent=2))
@@ -184,7 +207,15 @@ def _command_list(args: argparse.Namespace) -> int:
     for spec in specs:
         flags = " (trains networks)" if spec.heavy else ""
         print(f"  {spec.id:<8} {spec.reference:<10} {spec.title}{flags}")
-    print(f"workloads: {' '.join(list_workloads())}")
+    print("workloads:")
+    for entry in workloads:
+        structure = (
+            f"{entry['graph_nodes']} nodes, {entry['layers']} layers, "
+            f"{entry['joins']} joins"
+            if entry["graph_nodes"] is not None
+            else f"{entry['layers']} layers (linear)"
+        )
+        print(f"  {entry['name']:<18} {entry['family']:<12} {structure}")
     print(f"configs:   {' '.join(list_configs())}")
     return 0
 

@@ -33,6 +33,11 @@ from ..arch.accelerator import DBPIMAccelerator, LayerExecutionResult
 from ..arch.area import AreaModel
 from ..arch.config import DBPIMConfig
 from ..compiler.pipeline import CompiledModel, compile_model
+from ..compiler.schedule import (
+    plan_elementwise_fusion,
+    plan_feature_liveness,
+    resident_payload_at,
+)
 from ..core.fta import FTAConfig
 from ..core.quantization import quantize_weights
 from ..core.sparsity import analyze_input_sparsity, analyze_weight_sparsity
@@ -50,7 +55,7 @@ from ..sim.cycle_model import (
 )
 from ..sim.metrics import SystemMetrics, compute_metrics
 from ..sim.trace import ProgramTrace, TraceSimulator, relative_cycle_error
-from ..workloads.models import get_workload, list_workloads
+from ..workloads.models import get_workload, list_workloads, workload_family
 from ..workloads.profiles import (
     ModelSparsityProfile,
     profile_model,
@@ -66,6 +71,7 @@ from .results import (
     AreaRow,
     ComparisonColumn,
     ExperimentResult,
+    GraphRow,
     InputSparsityRow,
     ProgramRow,
     SparsityBenefitRow,
@@ -189,6 +195,14 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             title="whole-model compiled programs replayed on the trace "
             "simulator vs the analytical cycle model",
             runner="program_report",
+            takes_models=True,
+        ),
+        ExperimentSpec(
+            id="graph",
+            reference="workload IR",
+            title="graph structure of the workloads: nodes, joins, fused "
+            "SIMD ops and feature-buffer residency",
+            runner="graph_report",
             takes_models=True,
         ),
     )
@@ -764,6 +778,77 @@ class Experiment:
                     scheduled_cycles=scheduled_cycles,
                     hidden_fraction=hidden_fraction,
                     max_relative_error=worst,
+                )
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # "graph" -- workload graph-structure report
+    # ------------------------------------------------------------------
+    def graph_report(
+        self, models: Optional[Sequence[str]] = None
+    ) -> List[GraphRow]:
+        """The ``graph`` experiment: summarise each workload's DAG.
+
+        Reports the node/edge/join structure of every requested workload's
+        :class:`~repro.workloads.graph.ModelGraph`, the branch bytes its
+        fused joins re-read (multi-producer feature traffic) and the
+        worst-case branch residency the liveness planner keeps in the
+        feature buffer.  Legacy linear workloads (no graph) degrade to a
+        pure chain summary.
+
+        Args:
+            models: workload names (``None`` for all five paper models;
+                transformer workloads by explicit name, e.g.
+                ``models=["vit_tiny"]``).
+        """
+        rows: List[GraphRow] = []
+        for name in self._resolve_models(models):
+            workload = get_workload(name)
+            graph = workload.graph
+            if graph is None:
+                rows.append(
+                    GraphRow(
+                        model=name,
+                        family=workload_family(name),
+                        nodes=len(workload.layers),
+                        weighted_layers=len(workload.layers),
+                        simd_ops=0,
+                        joins=0,
+                        edges=len(workload.layers),
+                        total_macs=workload.total_macs,
+                        residual_feature_bytes=0,
+                        max_resident_feature_bytes=0,
+                    )
+                )
+                continue
+            # The same fusion rule the compiler pass applies, so this
+            # report can never disagree with CompiledLayerInfo.
+            residual = sum(
+                decision.residual_bytes
+                for decision in plan_elementwise_fusion(graph)
+            )
+            intervals = plan_feature_liveness(graph)
+            layer_count = len(graph.weighted_nodes())
+            max_resident = max(
+                (
+                    resident_payload_at(intervals, position)
+                    for position in range(layer_count)
+                ),
+                default=0,
+            )
+            rows.append(
+                GraphRow(
+                    model=name,
+                    family=workload_family(name),
+                    nodes=len(graph),
+                    weighted_layers=layer_count,
+                    simd_ops=len(graph.simd_nodes()),
+                    joins=len(graph.join_nodes()),
+                    edges=len(graph.edges()),
+                    total_macs=workload.total_macs,
+                    residual_feature_bytes=residual,
+                    max_resident_feature_bytes=max_resident,
                 )
             )
         return rows

@@ -17,6 +17,7 @@ from .results import (
     AreaRow,
     ComparisonColumn,
     ExperimentResult,
+    GraphRow,
     InputSparsityRow,
     ProgramRow,
     SparsityBenefitRow,
@@ -34,6 +35,7 @@ __all__ = [
     "format_comparison",
     "format_area",
     "format_program",
+    "format_graph",
     "format_result",
     "format_sweep",
 ]
@@ -179,6 +181,24 @@ def format_program(rows: Sequence[ProgramRow]) -> str:
     return "\n".join(lines)
 
 
+def format_graph(rows: Sequence[GraphRow]) -> str:
+    """Render the workload graph-structure experiment as aligned text."""
+    header = (
+        f"{'Model':<18}{'family':>12}{'nodes':>7}{'layers':>8}{'simd':>6}"
+        f"{'joins':>7}{'edges':>7}{'MMACs':>9}{'resid KB':>10}{'peak KB':>9}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row.model:<18}{row.family:>12}{row.nodes:>7}"
+            f"{row.weighted_layers:>8}{row.simd_ops:>6}{row.joins:>7}"
+            f"{row.edges:>7}{row.total_macs / 1e6:>9.1f}"
+            f"{row.residual_feature_bytes / 1024:>10.1f}"
+            f"{row.max_resident_feature_bytes / 1024:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
 _FORMATTERS: Dict[str, Callable[[Sequence], str]] = {
     "fig2a": format_weight_sparsity,
     "fig2b": format_input_sparsity,
@@ -188,6 +208,7 @@ _FORMATTERS: Dict[str, Callable[[Sequence], str]] = {
     "table3": format_comparison,
     "table4": format_area,
     "program": format_program,
+    "graph": format_graph,
 }
 
 

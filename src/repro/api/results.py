@@ -34,6 +34,7 @@ __all__ = [
     "ComparisonColumn",
     "AreaRow",
     "ProgramRow",
+    "GraphRow",
     "PRIOR_WORK_ROWS",
     "PRIOR_WORK_COLUMNS",
     "ROW_TYPES",
@@ -136,6 +137,38 @@ class AreaRow:
 
 
 @dataclass(frozen=True)
+class GraphRow:
+    """Graph-structure summary of one workload (the ``graph`` experiment).
+
+    Attributes:
+        model: workload name.
+        family: workload family (``"paper"`` or ``"transformer"``).
+        nodes: operator nodes of the graph.
+        weighted_layers: macro-mapped layers (the linearized schedule).
+        simd_ops: SIMD nodes (add/concat/softmax) fused into epilogues.
+        joins: branch merge points -- nodes consuming several produced
+            values (add/concat joins and two-operand attention matmuls).
+        edges: producer -> consumer edges.
+        total_macs: multiply-accumulates of one inference.
+        residual_feature_bytes: branch bytes graph joins re-read (the
+            multi-producer feature traffic the trace simulator accounts).
+        max_resident_feature_bytes: worst-case branch bytes parked in the
+            feature buffer across any layer of the schedule.
+    """
+
+    model: str
+    family: str
+    nodes: int
+    weighted_layers: int
+    simd_ops: int
+    joins: int
+    edges: int
+    total_macs: int
+    residual_feature_bytes: int
+    max_resident_feature_bytes: int
+
+
+@dataclass(frozen=True)
 class ProgramRow:
     """Compiled-program summary of one workload (the ``program`` experiment).
 
@@ -232,6 +265,7 @@ ROW_TYPES: Dict[str, type] = {
     "table3": ComparisonColumn,
     "table4": AreaRow,
     "program": ProgramRow,
+    "graph": GraphRow,
 }
 
 #: Row dict fields whose keys are integers (JSON stringifies mapping keys,

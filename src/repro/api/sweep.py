@@ -59,6 +59,7 @@ DEFAULT_SWEEP_EXPERIMENTS = (
     "table3",
     "table4",
     "program",
+    "graph",
 )
 
 

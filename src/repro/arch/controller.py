@@ -44,6 +44,10 @@ class DispatchSummary:
         simd_elements / write_back_elements: element counts of the tails.
         weight_bytes / metadata_bytes / feature_bytes / write_back_bytes:
             byte traffic of each stream (repeats expanded).
+        residual_feature_bytes: the subset of ``feature_bytes`` carried by
+            ``residual``-tagged feature loads -- branch operands of graph
+            joins re-read by a fused epilogue (multi-producer feature
+            traffic).
         peak_weight_buffer_bytes / peak_meta_buffer_bytes /
         peak_feature_buffer_bytes: buffer-occupancy high-water marks
             (loads accumulate, a tile's features retire at its accumulate,
@@ -63,6 +67,7 @@ class DispatchSummary:
     weight_bytes: int = 0
     metadata_bytes: int = 0
     feature_bytes: int = 0
+    residual_feature_bytes: int = 0
     write_back_bytes: int = 0
     peak_weight_buffer_bytes: int = 0
     peak_meta_buffer_bytes: int = 0
@@ -192,6 +197,8 @@ class TopController:
                 payload = int(operands.get("bytes", 0) or 0)
                 summary.feature_loads += repeats
                 summary.feature_bytes += payload * repeats
+                if operands.get("residual"):
+                    summary.residual_feature_bytes += payload * repeats
                 feature_level += payload
                 pending_features.append(payload)
                 if feature_level > summary.peak_feature_buffer_bytes:

@@ -15,6 +15,8 @@ from .codegen import emit_module, generate_layer_program, generate_program_from_
 from .isa import CYCLE_SCALE, Instruction, Opcode, Program, ProgramSegment
 from .mapping import MAX_FTA_THRESHOLD, LayerMapping, map_layer
 from .passes import (
+    ElementwiseFusionPass,
+    FeatureLivenessPass,
     MappingPass,
     OverlapPass,
     SplitPass,
@@ -25,6 +27,7 @@ from .pipeline import (
     CompiledLayerInfo,
     CompiledModel,
     CompilerPass,
+    FusedOp,
     LayerIR,
     ModuleIR,
     PassManager,
@@ -35,12 +38,18 @@ from .pipeline import (
 from .schedule import (
     BYTES_PER_INSTRUCTION,
     DEFAULT_BYTES_PER_CYCLE,
+    FusionDecision,
+    LivenessInterval,
     OverlapDecision,
     ProgramSplitError,
     SegmentPlan,
     TransferModel,
     decide_overlap,
+    fusion_anchors,
+    plan_elementwise_fusion,
+    plan_feature_liveness,
     plan_layer_segments,
+    resident_payload_at,
 )
 from .weight_transform import (
     CompressedFilter,
@@ -68,6 +77,7 @@ __all__ = [
     "CompilationError",
     "CompilerPass",
     "PassManager",
+    "FusedOp",
     "LayerIR",
     "ModuleIR",
     "CompiledLayerInfo",
@@ -77,6 +87,8 @@ __all__ = [
     "lower_model",
     "ThresholdAssignmentPass",
     "MappingPass",
+    "ElementwiseFusionPass",
+    "FeatureLivenessPass",
     "OverlapPass",
     "SplitPass",
     "BYTES_PER_INSTRUCTION",
@@ -85,6 +97,12 @@ __all__ = [
     "OverlapDecision",
     "SegmentPlan",
     "ProgramSplitError",
+    "LivenessInterval",
+    "FusionDecision",
     "decide_overlap",
+    "fusion_anchors",
+    "plan_elementwise_fusion",
+    "plan_feature_liveness",
     "plan_layer_segments",
+    "resident_payload_at",
 ]

@@ -9,7 +9,11 @@ Two emitters live here:
   weight-load prologues, per-iteration compute chunks built once and
   replicated C-side, byte-payload operands for the trace simulator's
   buffer/DMA accounting, and Q16.16 ``cycles_q16`` broadcast operands that
-  carry the analytical model's fractional cycles-per-pass exactly.
+  carry the analytical model's fractional cycles-per-pass exactly.  For
+  graph workloads a layer's epilogue additionally materialises its fused
+  SIMD ops: each join re-reads its branch operands through a
+  ``residual``-tagged feature load (multi-producer traffic the trace
+  simulator accounts) and the epilogue SIMD op covers the fused elements.
 * :func:`generate_program_from_mapping` / :func:`generate_layer_program` --
   the historical single-layer front door, kept as a thin wrapper for
   callers that want one layer's stream without building a profile.
@@ -82,8 +86,26 @@ def _emit_layer(
     barrier = [program.intern(Opcode.BARRIER)]
     compute_chunk = tile_body * tiles + barrier
     streamed_chunk = load_pair + compute_chunk
-    epilogue = [
-        program.intern(Opcode.SIMD_OP, elements=transfers.output_bytes),
+    # The epilogue covers the layer's own post-processing plus any graph
+    # SIMD ops fused into it: joins stream their earlier-produced branch
+    # operands back through the feature path (tagged ``residual`` so the
+    # controller can account multi-producer traffic separately), and the
+    # SIMD op's element count grows by the fused work.
+    simd_elements = transfers.output_bytes
+    epilogue: List[Instruction] = []
+    for fused in node.fused_ops:
+        simd_elements += fused.elements
+        if fused.residual_bytes:
+            epilogue.append(
+                program.intern(
+                    Opcode.LOAD_FEATURES,
+                    bytes=fused.residual_bytes,
+                    residual=1,
+                )
+            )
+            epilogue.append(program.intern(Opcode.ACCUMULATE, residual=1))
+    epilogue += [
+        program.intern(Opcode.SIMD_OP, elements=simd_elements),
         program.intern(
             Opcode.WRITE_BACK,
             elements=transfers.output_bytes,
@@ -142,6 +164,11 @@ def emit_module(module) -> Tuple[Program, List]:
                 double_buffered=node.overlap.double_buffer_features,
                 segment_indices=indices,
                 instructions=count,
+                fused_ops=tuple(fused.name for fused in node.fused_ops),
+                residual_bytes=sum(
+                    fused.residual_bytes for fused in node.fused_ops
+                ),
+                resident_feature_bytes=node.resident_feature_bytes,
             )
         )
     return program, infos

@@ -9,9 +9,18 @@ Each pass is one IR-to-IR transformation over a
    flags);
 2. :class:`MappingPass` -- run the dataflow mapper, fixing every layer's
    tiling onto the macros;
-3. :class:`OverlapPass` -- decide weight-load hoisting and feature-tile
-   double buffering from the buffer capacities;
-4. :class:`SplitPass` -- segment every layer's instruction stream to the
+3. :class:`ElementwiseFusionPass` -- fuse the graph's SIMD ops
+   (add/concat/softmax) into the epilogue of their latest-scheduled
+   producing layer, recording the extra SIMD elements and the branch bytes
+   each join re-reads (no-op for linear workloads);
+4. :class:`FeatureLivenessPass` -- plan feature-buffer residency over the
+   graph schedule: join nodes extend the residency of their branch
+   operands, shrinking downstream double-buffering headroom (no-op for
+   linear workloads);
+5. :class:`OverlapPass` -- decide weight-load hoisting and feature-tile
+   double buffering from the buffer capacities and the resident branch
+   bytes;
+6. :class:`SplitPass` -- segment every layer's instruction stream to the
    instruction buffer, downgrading a hoist that cannot share a refill with
    its first compute iteration.
 
@@ -22,20 +31,26 @@ so custom pass lists that break the order are caught before emission.
 from __future__ import annotations
 
 from .mapping import MAX_FTA_THRESHOLD, map_layer
-from .pipeline import CompilationError, CompilerPass, ModuleIR
+from .pipeline import CompilationError, CompilerPass, FusedOp, ModuleIR
 from .schedule import (
     OverlapDecision,
     ProgramSplitError,
     decide_overlap,
+    plan_elementwise_fusion,
+    plan_feature_liveness,
     plan_layer_segments,
+    resident_payload_at,
 )
 
 __all__ = [
     "ThresholdAssignmentPass",
     "MappingPass",
+    "ElementwiseFusionPass",
+    "FeatureLivenessPass",
     "OverlapPass",
     "SplitPass",
     "instructions_per_iteration",
+    "epilogue_instructions_of",
 ]
 
 #: Instructions of one tile's compute body (feature load, broadcast,
@@ -49,6 +64,20 @@ _EPILOGUE = 2
 def instructions_per_iteration(input_tiles: int, load_instructions: int) -> int:
     """Encoded instructions of one filter iteration (loads + tiles + barrier)."""
     return load_instructions + _TILE_BODY * input_tiles + 1
+
+
+def epilogue_instructions_of(node) -> int:
+    """Encoded epilogue instructions of one layer node.
+
+    The base epilogue is a SIMD op plus a write back; every fused join that
+    re-reads a branch operand adds a residual feature load and its retiring
+    accumulate.  Shared by the split pass and the emitter so segmentation
+    and emission can never disagree.
+    """
+    residual_streams = sum(
+        1 for fused in node.fused_ops if fused.residual_bytes > 0
+    )
+    return _EPILOGUE + 2 * residual_streams
 
 
 class ThresholdAssignmentPass(CompilerPass):
@@ -106,8 +135,69 @@ class MappingPass(CompilerPass):
             )
 
 
+class ElementwiseFusionPass(CompilerPass):
+    """Fuse graph SIMD ops into the epilogue of their anchor layer.
+
+    Every SIMD node (add/concat/softmax) of the module's graph is folded
+    into the latest-scheduled weighted layer among its producers: the
+    anchor's epilogue SIMD op grows by the node's output elements, and for
+    joins the branch operands produced by *earlier* layers are recorded as
+    residual bytes the emitter streams back through the feature path.
+    Modules without a graph (legacy linear tables) are left untouched.
+    """
+
+    name = "fuse-elementwise"
+
+    def run(self, module: ModuleIR) -> None:
+        """Attach :class:`~repro.compiler.pipeline.FusedOp` records."""
+        if module.graph is None:
+            return
+        try:
+            decisions = plan_elementwise_fusion(module.graph)
+        except ValueError as error:
+            raise CompilationError(str(error)) from error
+        for decision in decisions:
+            node = module.layers[decision.anchor]
+            node.fused_ops = node.fused_ops + (
+                FusedOp(
+                    name=decision.name,
+                    op=decision.op,
+                    elements=decision.elements,
+                    residual_bytes=decision.residual_bytes,
+                ),
+            )
+
+
+class FeatureLivenessPass(CompilerPass):
+    """Plan feature-buffer residency across the graph schedule.
+
+    Computes one liveness interval per produced value (see
+    :func:`repro.compiler.schedule.plan_feature_liveness`) and annotates
+    every layer with the branch bytes resident while it executes -- the
+    quantity the overlap pass subtracts from the feature buffer before
+    granting double buffering.  Modules without a graph keep residency 0.
+    """
+
+    name = "plan-feature-liveness"
+
+    def run(self, module: ModuleIR) -> None:
+        """Attach the module's liveness plan and per-layer residency."""
+        if module.graph is None:
+            return
+        module.liveness = plan_feature_liveness(module.graph)
+        for position, node in enumerate(module.layers):
+            node.resident_feature_bytes = resident_payload_at(
+                module.liveness, position
+            )
+
+
 class OverlapPass(CompilerPass):
-    """Decide weight-load hoisting and feature double buffering per layer."""
+    """Decide weight-load hoisting and feature double buffering per layer.
+
+    Consumes the feature-liveness pass's resident branch bytes, so a layer
+    executing while a join operand is parked in the feature buffer only
+    double-buffers if two tiles *plus* the resident bytes fit.
+    """
 
     name = "overlap-double-buffer"
 
@@ -115,7 +205,11 @@ class OverlapPass(CompilerPass):
         """Attach an :class:`~repro.compiler.schedule.OverlapDecision`."""
         module.require("mapping", self.name)
         for node in module.layers:
-            node.overlap = decide_overlap(node.mapping, module.config)
+            node.overlap = decide_overlap(
+                node.mapping,
+                module.config,
+                resident_feature_bytes=node.resident_feature_bytes,
+            )
 
 
 class SplitPass(CompilerPass):
@@ -142,7 +236,7 @@ class SplitPass(CompilerPass):
                     iterations=node.mapping.filter_iterations,
                     load_instructions=loads,
                     tile_instructions=_TILE_BODY * node.mapping.input_tiles,
-                    epilogue_instructions=_EPILOGUE,
+                    epilogue_instructions=epilogue_instructions_of(node),
                     hoisted=node.overlap.hoist_weight_loads,
                     capacity_bytes=capacity,
                 )

@@ -10,13 +10,16 @@ the trace simulator (:mod:`repro.sim.trace`).
 Stages::
 
     ModelSparsityProfile + DBPIMConfig + variant
-        |  lower_model()
+        |  lower_model()   (attaches the workload's ModelGraph, if any)
         v
-    ModuleIR (one LayerIR per weighted layer)
+    ModuleIR (one LayerIR per weighted layer + the source graph)
         |  PassManager.run()  --  ordered CompilerPass list:
         |    threshold-assignment  (FTA phi_th from the profile)
         |    mapping               (tiling onto the macros)
-        |    overlap               (weight-load hoisting + double buffering)
+        |    elementwise-fusion    (graph SIMD ops fused into epilogues)
+        |    feature-liveness      (branch residency over the schedule)
+        |    overlap               (weight-load hoisting + double buffering,
+        |                           liveness-aware for graph workloads)
         |    split                 (instruction-buffer-aware segmentation)
         v
     scheduled ModuleIR
@@ -36,15 +39,17 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..arch.config import DBPIMConfig
+from ..workloads.graph import ModelGraph
 from ..workloads.layers import LayerShape
 from ..workloads.models import ModelWorkload
 from ..workloads.profiles import ModelSparsityProfile
 from .isa import CYCLE_SCALE, Program
 from .mapping import LayerMapping
-from .schedule import OverlapDecision, SegmentPlan
+from .schedule import LivenessInterval, OverlapDecision, SegmentPlan
 
 __all__ = [
     "CompilationError",
+    "FusedOp",
     "LayerIR",
     "ModuleIR",
     "CompilerPass",
@@ -61,6 +66,25 @@ class CompilationError(ValueError):
     """A pass (or the emitter) rejected the module being compiled."""
 
 
+@dataclass(frozen=True)
+class FusedOp:
+    """One graph SIMD op fused into a weighted layer's epilogue.
+
+    Attributes:
+        name: name of the fused graph node.
+        op: the node's operator (``"add"``, ``"concat"`` or ``"softmax"``).
+        elements: output elements the SIMD core processes for the op.
+        residual_bytes: feature bytes of branch operands produced by
+            *earlier* layers that the join re-reads (0 for single-producer
+            ops such as softmax).
+    """
+
+    name: str
+    op: str
+    elements: int
+    residual_bytes: int = 0
+
+
 @dataclass
 class LayerIR:
     """Mutable per-layer node of the module IR.
@@ -75,6 +99,11 @@ class LayerIR:
         input_active_columns: measured IPU active bit columns (set by the
             threshold pass when input sparsity is enabled).
         mapping: static tiling decisions (set by the mapping pass).
+        fused_ops: graph SIMD ops fused into this layer's epilogue (set by
+            the elementwise-fusion pass; empty for linear workloads).
+        resident_feature_bytes: branch bytes the liveness plan keeps in the
+            feature buffer across this layer (set by the feature-liveness
+            pass; 0 for linear workloads).
         overlap: hoist / double-buffering decisions (set by the overlap
             pass).
         segment_plan: instruction-buffer segmentation (set by the split
@@ -85,6 +114,8 @@ class LayerIR:
     thresholds: Optional[Tuple[int, ...]] = None
     input_active_columns: Optional[float] = None
     mapping: Optional[LayerMapping] = None
+    fused_ops: Tuple[FusedOp, ...] = ()
+    resident_feature_bytes: int = 0
     overlap: Optional[OverlapDecision] = None
     segment_plan: Optional[Tuple[SegmentPlan, ...]] = None
 
@@ -98,9 +129,14 @@ class ModuleIR:
         config: the hardware configuration with the variant's sparsity
             flags already applied.
         variant: the Fig. 7 sparsity variant name.
-        layers: one :class:`LayerIR` per weighted layer, in network order.
+        layers: one :class:`LayerIR` per weighted layer, in schedule order
+            (the graph's linearized order for graph workloads).
         profile: the sparsity profile the module was lowered from (read by
             the threshold-assignment pass).
+        graph: the workload's DAG (``None`` for legacy linear tables); read
+            by the elementwise-fusion and feature-liveness passes.
+        liveness: the feature-buffer liveness plan (set by the
+            feature-liveness pass for graph workloads).
         pass_log: names of the passes that ran, in order.
     """
 
@@ -109,6 +145,8 @@ class ModuleIR:
     variant: str
     layers: List[LayerIR] = field(default_factory=list)
     profile: Optional[ModelSparsityProfile] = None
+    graph: Optional[ModelGraph] = None
+    liveness: Tuple[LivenessInterval, ...] = ()
     pass_log: List[str] = field(default_factory=list)
 
     def require(self, attribute: str, pass_name: str) -> None:
@@ -181,18 +219,36 @@ def lower_model(
         The unscheduled module.
     """
     config = (config or DBPIMConfig()).for_variant(variant)
+    graph = profile.workload.graph
+    if graph is not None:
+        graph_names = [layer.name for layer in graph.linearize()]
+        profile_names = [p.layer.name for p in profile.layers]
+        if graph_names != profile_names:
+            raise CompilationError(
+                f"profile of {profile.workload.name!r} does not match its "
+                f"graph's linearized schedule (profile: {profile_names[:3]}..., "
+                f"graph: {graph_names[:3]}...)"
+            )
     return ModuleIR(
         workload=profile.workload,
         config=config,
         variant=variant,
         layers=[LayerIR(layer=p.layer) for p in profile.layers],
         profile=profile,
+        graph=graph,
     )
 
 
 def default_passes(module: ModuleIR) -> List[CompilerPass]:
-    """The standard pass list for a lowered module, in order."""
+    """The standard pass list for a lowered module, in order.
+
+    The graph-aware passes (elementwise fusion, feature liveness) are
+    included unconditionally -- they are no-ops for modules without a
+    graph -- so the pass log is identical across workload shapes.
+    """
     from .passes import (
+        ElementwiseFusionPass,
+        FeatureLivenessPass,
         MappingPass,
         OverlapPass,
         SplitPass,
@@ -202,6 +258,8 @@ def default_passes(module: ModuleIR) -> List[CompilerPass]:
     return [
         ThresholdAssignmentPass(),
         MappingPass(),
+        ElementwiseFusionPass(),
+        FeatureLivenessPass(),
         OverlapPass(),
         SplitPass(),
     ]
@@ -221,6 +279,9 @@ class CompiledLayerInfo:
         double_buffered: whether feature tiles are double-buffered.
         segment_indices: indices of the layer's segments in the program.
         instructions: encoded instructions of the layer.
+        fused_ops: names of the graph SIMD ops fused into the epilogue.
+        residual_bytes: branch-operand bytes the fused joins re-read.
+        resident_feature_bytes: branch bytes resident across the layer.
     """
 
     name: str
@@ -232,6 +293,9 @@ class CompiledLayerInfo:
     double_buffered: bool
     segment_indices: Tuple[int, ...]
     instructions: int
+    fused_ops: Tuple[str, ...] = ()
+    residual_bytes: int = 0
+    resident_feature_bytes: int = 0
 
     @property
     def expected_compute_cycles(self) -> float:

@@ -26,14 +26,21 @@ Scheduling model
   refill (a :class:`~repro.compiler.isa.ProgramSegment`) at a time, so a
   layer's stream is split at filter-iteration boundaries into windows of at
   most ``instruction_buffer / bytes_per_instruction`` instructions.
+* **Feature liveness**: for graph workloads, branch values live in the
+  feature buffer from their producing layer until the layer whose epilogue
+  joins them (:func:`plan_feature_liveness`); the bytes resident across a
+  layer shrink the headroom its double-buffering decision may use
+  (:func:`resident_payload_at`), so join nodes extending buffer residency
+  are priced instead of assumed away by chain order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Tuple
 
 from ..arch.config import DBPIMConfig
+from ..workloads.graph import GRAPH_INPUT, ModelGraph
 from .mapping import LayerMapping
 
 __all__ = [
@@ -43,6 +50,12 @@ __all__ = [
     "OverlapDecision",
     "SegmentPlan",
     "ProgramSplitError",
+    "LivenessInterval",
+    "FusionDecision",
+    "fusion_anchors",
+    "plan_elementwise_fusion",
+    "plan_feature_liveness",
+    "resident_payload_at",
     "layer_transfer_bytes",
     "decide_hoist",
     "decide_overlap",
@@ -119,6 +132,170 @@ class ProgramSplitError(ValueError):
 
 
 @dataclass(frozen=True)
+class LivenessInterval:
+    """Feature-buffer residency of one produced value of a graph workload.
+
+    Positions index the weighted-layer schedule (the graph's linearized
+    order): a value is produced by the layer at ``start`` (for SIMD values,
+    the layer whose epilogue the op is fused into) and must stay resident
+    until the layer at ``end`` has consumed it.
+
+    Attributes:
+        value: name of the producing graph node.
+        start: schedule position of the producing (anchor) layer.
+        end: schedule position of the last consuming (anchor) layer.
+        payload_bytes: INT8 feature bytes of the value.
+    """
+
+    value: str
+    start: int
+    end: int
+    payload_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("liveness intervals must satisfy start <= end")
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+
+    @property
+    def spans_layers(self) -> int:
+        """Number of schedule steps the value stays live across."""
+        return self.end - self.start
+
+
+def fusion_anchors(graph: ModelGraph) -> Dict[str, int]:
+    """Schedule position of every graph node's *anchor* layer.
+
+    A weighted node anchors at its own position in the linearized schedule;
+    a SIMD node (add/concat/softmax) anchors at the latest-scheduled anchor
+    among its inputs -- the layer whose epilogue the elementwise-fusion
+    pass folds it into.  The graph input anchors at ``-1``.
+    """
+    positions = {
+        node.name: index for index, node in enumerate(graph.weighted_nodes())
+    }
+    anchors: Dict[str, int] = {GRAPH_INPUT: -1}
+    for node in graph.topological_order():
+        if node.is_weighted:
+            anchors[node.name] = positions[node.name]
+        else:
+            anchors[node.name] = max(anchors[source] for source in node.inputs)
+    return anchors
+
+
+@dataclass(frozen=True)
+class FusionDecision:
+    """Planned fusion of one graph SIMD op into its anchor layer.
+
+    Attributes:
+        name: name of the SIMD graph node.
+        op: the node's operator (``"add"``, ``"concat"`` or ``"softmax"``).
+        anchor: schedule position of the weighted layer whose epilogue
+            absorbs the op.
+        elements: output elements the SIMD core processes for the op.
+        residual_bytes: feature bytes of branch operands produced by
+            *earlier* layers that the join re-reads (0 for single-producer
+            ops such as softmax).
+    """
+
+    name: str
+    op: str
+    anchor: int
+    elements: int
+    residual_bytes: int
+
+
+def plan_elementwise_fusion(graph: ModelGraph) -> Tuple[FusionDecision, ...]:
+    """The canonical fusion plan of every SIMD op of a graph.
+
+    This is the single source of the fusion rule shared by the compiler's
+    elementwise-fusion pass and the façade's graph report: each SIMD node
+    anchors at its latest-scheduled producing layer, and the inputs whose
+    anchors precede it (the parked branch operands) are charged as
+    residual feature bytes.
+
+    Raises:
+        ValueError: when a SIMD node has no weighted producer at all (its
+            anchor would be the graph input).
+    """
+    anchors = fusion_anchors(graph)
+    decisions = []
+    for simd_node in graph.simd_nodes():
+        anchor = anchors[simd_node.name]
+        if anchor < 0:
+            raise ValueError(
+                f"SIMD node {simd_node.name!r} has no weighted producer "
+                "to fuse into"
+            )
+        residual = sum(
+            graph.output_payload(source)
+            for source in simd_node.inputs
+            if source != GRAPH_INPUT and anchors[source] < anchor
+        )
+        decisions.append(
+            FusionDecision(
+                name=simd_node.name,
+                op=simd_node.op,
+                anchor=anchor,
+                elements=graph.output_payload(simd_node.name),
+                residual_bytes=residual,
+            )
+        )
+    return tuple(decisions)
+
+
+def plan_feature_liveness(graph: ModelGraph) -> Tuple[LivenessInterval, ...]:
+    """Liveness intervals of every produced value over the layer schedule.
+
+    Each node's output lives from its anchor layer until the last anchor
+    among its consumers (its own anchor when unconsumed -- the graph
+    output).  Zero-length intervals of values that die inside their
+    producing layer's epilogue (e.g. a raw conv output immediately folded
+    into a residual add) are kept: they simply never span a layer boundary
+    and thus never contribute residency.
+    """
+    anchors = fusion_anchors(graph)
+    intervals = []
+    for node in graph.topological_order():
+        start = anchors[node.name]
+        if start < 0:
+            continue
+        consumer_anchors = [
+            anchors[consumer.name] for consumer in graph.consumers(node.name)
+        ]
+        intervals.append(
+            LivenessInterval(
+                value=node.name,
+                start=start,
+                end=max([start] + consumer_anchors),
+                payload_bytes=graph.output_payload(node.name),
+            )
+        )
+    return tuple(intervals)
+
+
+def resident_payload_at(
+    intervals: Tuple[LivenessInterval, ...], position: int
+) -> int:
+    """Branch bytes held in the feature buffer while ``position`` executes.
+
+    Counts every value live across the layer (produced earlier, consumed at
+    or after it) *except* the plain chain input -- the value produced by the
+    immediately preceding layer and consumed only here, whose tile-by-tile
+    streaming the transfer model already prices.  For linear chains the
+    result is therefore 0; join nodes make it positive.
+    """
+    resident = 0
+    for interval in intervals:
+        if interval.start < position <= interval.end and not (
+            interval.start == position - 1 and interval.end == position
+        ):
+            resident += interval.payload_bytes
+    return resident
+
+
+@dataclass(frozen=True)
 class SegmentPlan:
     """Blueprint of one emitted segment of a layer.
 
@@ -186,12 +363,28 @@ def decide_hoist(mapping: LayerMapping, config: DBPIMConfig) -> bool:
     return True
 
 
-def decide_overlap(mapping: LayerMapping, config: DBPIMConfig) -> OverlapDecision:
-    """The hoist + double-buffering decision of one mapped layer."""
+def decide_overlap(
+    mapping: LayerMapping,
+    config: DBPIMConfig,
+    resident_feature_bytes: int = 0,
+) -> OverlapDecision:
+    """The hoist + double-buffering decision of one mapped layer.
+
+    Args:
+        mapping: the layer's static tiling.
+        config: hardware configuration (buffer capacities).
+        resident_feature_bytes: branch bytes the liveness plan keeps in the
+            feature buffer across this layer (see
+            :func:`resident_payload_at`); they shrink the headroom the
+            double-buffering decision may claim.
+    """
+    if resident_feature_bytes < 0:
+        raise ValueError("resident_feature_bytes must be non-negative")
     transfers = layer_transfer_bytes(mapping, config)
     hoist = decide_hoist(mapping, config)
     double_buffer = (
-        2 * transfers.feature_bytes_per_tile <= config.buffers.feature_buffer
+        2 * transfers.feature_bytes_per_tile + resident_feature_bytes
+        <= config.buffers.feature_buffer
     )
     reasons = []
     reasons.append(
@@ -200,6 +393,8 @@ def decide_overlap(mapping: LayerMapping, config: DBPIMConfig) -> OverlapDecisio
     reasons.append(
         "feature tiles double-buffered" if double_buffer else "feature tiles single-buffered"
     )
+    if resident_feature_bytes:
+        reasons.append(f"{resident_feature_bytes} B of branch values resident")
     return OverlapDecision(
         hoist_weight_loads=hoist,
         double_buffer_features=double_buffer,
@@ -245,9 +440,32 @@ def plan_layer_segments(
             plus one iteration, one per-iteration chunk, or the epilogue)
             cannot fit the buffer.
     """
+    if iterations < 0:
+        raise ProgramSplitError(
+            f"layer {layer_name!r}: iteration count must be non-negative"
+        )
     capacity = capacity_bytes // bytes_per_instruction
     chunk = tile_instructions + 1 + (0 if hoisted else load_instructions)
     prologue = iterations * load_instructions if hoisted else 0
+
+    if iterations == 0:
+        # A degenerate (compute-free) layer still emits its epilogue.
+        if epilogue_instructions > capacity:
+            raise ProgramSplitError(
+                f"layer {layer_name!r}: the layer epilogue needs "
+                f"{epilogue_instructions} instructions "
+                f"({epilogue_instructions * bytes_per_instruction} bytes) but "
+                f"the instruction buffer holds {capacity} ({capacity_bytes} "
+                "bytes)"
+            )
+        return [
+            SegmentPlan(
+                hoisted_iterations=0,
+                start_iteration=0,
+                stop_iteration=0,
+                epilogue=True,
+            )
+        ]
 
     def _overflow(what: str, need: int) -> ProgramSplitError:
         return ProgramSplitError(

@@ -67,6 +67,9 @@ class LayerTrace:
         peak_weight_buffer_bytes / peak_feature_buffer_bytes /
         peak_meta_buffer_bytes: buffer-occupancy high-water marks observed
             while replaying the layer's segments.
+        residual_feature_bytes: multi-producer feature traffic of fused
+            graph joins (branch operands re-read by the layer's epilogue);
+            a subset of the feature-load byte traffic.
     """
 
     name: str
@@ -77,6 +80,7 @@ class LayerTrace:
     peak_weight_buffer_bytes: int
     peak_feature_buffer_bytes: int
     peak_meta_buffer_bytes: int
+    residual_feature_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -115,6 +119,11 @@ class ProgramTrace:
     def instructions(self) -> int:
         """Encoded instructions of the whole program."""
         return sum(layer.instructions for layer in self.layers)
+
+    @property
+    def residual_feature_bytes(self) -> int:
+        """Multi-producer (graph-join) feature traffic of the program."""
+        return sum(layer.residual_feature_bytes for layer in self.layers)
 
     @property
     def segments(self) -> int:
@@ -183,6 +192,7 @@ class TraceSimulator:
         breakdown = CycleBreakdown()
         instructions = 0
         dispatches = 0
+        residual_bytes = 0
         peak_weight = peak_feature = peak_meta = 0
         for segment_index in info.segment_indices:
             segment = compiled.program.segment_program(segment_index)
@@ -195,6 +205,7 @@ class TraceSimulator:
             )
             instructions += summary.instructions
             dispatches += segment.total_dispatches()
+            residual_bytes += summary.residual_feature_bytes
             peak_weight = max(peak_weight, summary.peak_weight_buffer_bytes)
             peak_feature = max(peak_feature, summary.peak_feature_buffer_bytes)
             peak_meta = max(peak_meta, summary.peak_meta_buffer_bytes)
@@ -207,6 +218,7 @@ class TraceSimulator:
             peak_weight_buffer_bytes=peak_weight,
             peak_feature_buffer_bytes=peak_feature,
             peak_meta_buffer_bytes=peak_meta,
+            residual_feature_bytes=residual_bytes,
         )
 
     @staticmethod

@@ -1,7 +1,24 @@
-"""Workload descriptors and sparsity profiles of the paper's networks."""
+"""Workload descriptors, graph IR and sparsity profiles of the networks."""
 
+from .graph import (
+    GRAPH_INPUT,
+    GraphBuilder,
+    GraphNode,
+    GraphValidationError,
+    ModelGraph,
+    OpKind,
+)
 from .layers import LayerKind, LayerShape
-from .models import PAPER_MODELS, ModelWorkload, get_workload, list_workloads
+from .models import (
+    PAPER_MODELS,
+    TRANSFORMER_MODELS,
+    WORKLOADS,
+    WORKLOAD_FAMILIES,
+    ModelWorkload,
+    get_workload,
+    list_workloads,
+    workload_family,
+)
 from .profiles import (
     LayerSparsityProfile,
     ModelSparsityProfile,
@@ -12,12 +29,22 @@ from .profiles import (
 )
 
 __all__ = [
+    "GRAPH_INPUT",
+    "GraphBuilder",
+    "GraphNode",
+    "GraphValidationError",
+    "ModelGraph",
+    "OpKind",
     "LayerKind",
     "LayerShape",
     "ModelWorkload",
     "PAPER_MODELS",
+    "TRANSFORMER_MODELS",
+    "WORKLOADS",
+    "WORKLOAD_FAMILIES",
     "get_workload",
     "list_workloads",
+    "workload_family",
     "LayerSparsityProfile",
     "ModelSparsityProfile",
     "profile_layer",

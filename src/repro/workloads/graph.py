@@ -1,0 +1,443 @@
+"""Graph-native workload IR: networks as DAGs of typed operator nodes.
+
+Historically the workload layer described every network as a flat
+``Tuple[LayerShape, ...]``, which cannot express the residual and branch
+structure of the paper's evaluation networks (ResNet shortcuts, MobileNet
+inverted residuals) or transformer-class models at all.  This module is the
+graph front end of the stack:
+
+* :class:`GraphNode` -- one typed operator: a *weighted* op (``conv``,
+  ``depthwise``, ``linear``, ``matmul``) carrying a
+  :class:`~repro.workloads.layers.LayerShape`, or a *SIMD* op (``add``,
+  ``concat``, ``softmax``) executed by the post-processing SIMD core;
+* :class:`ModelGraph` -- an immutable DAG of nodes with explicit edges,
+  deterministic topological scheduling and structural validation;
+* :class:`GraphBuilder` -- the ergonomic construction front door the model
+  zoo in :mod:`repro.workloads.models` uses.
+
+The **linearize contract**: :meth:`ModelGraph.linearize` projects the graph
+onto the historical flat view -- the weighted layers in topological
+(schedule) order.  Everything cycle-model-facing (sparsity profiling, the
+analytical engines, the mapper) consumes that view unchanged, so graph
+workloads are a lossless superset: the graph adds branch/join structure the
+compiler's fusion and liveness passes exploit, while the broadcast-cycle
+accounting both simulators agree on is a pure function of the linearized
+layers.  ``docs/workloads.md`` documents the contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .layers import LayerKind, LayerShape
+
+__all__ = [
+    "GRAPH_INPUT",
+    "OpKind",
+    "GraphValidationError",
+    "GraphNode",
+    "ModelGraph",
+    "GraphBuilder",
+]
+
+#: Reserved edge-source name denoting the graph's external input tensor.
+GRAPH_INPUT = "input"
+
+
+class OpKind:
+    """Operator type constants of the graph IR.
+
+    Weighted ops carry a :class:`~repro.workloads.layers.LayerShape` and map
+    onto the PIM macros; SIMD ops are element-wise / normalisation work the
+    post-processing SIMD core executes (and the compiler fuses into the
+    producing layer's epilogue).
+    """
+
+    CONV = LayerKind.CONV
+    DEPTHWISE = LayerKind.DEPTHWISE
+    LINEAR = LayerKind.LINEAR
+    MATMUL = LayerKind.MATMUL
+    ADD = "add"
+    CONCAT = "concat"
+    SOFTMAX = "softmax"
+
+    WEIGHTED = (CONV, DEPTHWISE, LINEAR, MATMUL)
+    SIMD = (ADD, CONCAT, SOFTMAX)
+    _ALL = WEIGHTED + SIMD
+
+    @classmethod
+    def validate(cls, op: str) -> str:
+        """Check an operator name, returning it unchanged.
+
+        Raises:
+            GraphValidationError: for an unknown operator.
+        """
+        if op not in cls._ALL:
+            raise GraphValidationError(
+                f"unknown op {op!r}; expected one of {cls._ALL}"
+            )
+        return op
+
+    @classmethod
+    def is_weighted(cls, op: str) -> bool:
+        """Whether an operator maps onto the PIM macros (carries weights)."""
+        return op in cls.WEIGHTED
+
+
+class GraphValidationError(ValueError):
+    """A structurally invalid graph (bad edges, arity or node typing)."""
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One typed operator node of a :class:`ModelGraph`.
+
+    Attributes:
+        name: node name, unique within the graph.
+        op: one of :class:`OpKind` (weighted or SIMD).
+        inputs: names of the producing nodes (or :data:`GRAPH_INPUT`).
+        layer: the layer-shape record of a weighted op (``None`` for SIMD
+            ops -- their output geometry derives from their inputs).
+    """
+
+    name: str
+    op: str
+    inputs: Tuple[str, ...] = (GRAPH_INPUT,)
+    layer: Optional[LayerShape] = None
+
+    def __post_init__(self) -> None:
+        OpKind.validate(self.op)
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        if not self.name:
+            raise GraphValidationError("node names must be non-empty")
+        if not self.inputs:
+            raise GraphValidationError(f"node {self.name!r} has no inputs")
+        if OpKind.is_weighted(self.op):
+            if self.layer is None:
+                raise GraphValidationError(
+                    f"weighted node {self.name!r} ({self.op}) needs a LayerShape"
+                )
+            if self.layer.kind != self.op:
+                raise GraphValidationError(
+                    f"node {self.name!r}: op {self.op!r} does not match its "
+                    f"layer kind {self.layer.kind!r}"
+                )
+            # Projections/convolutions consume one tensor; activation-
+            # activation matmuls (attention) consume two.
+            limit = 2 if self.op == OpKind.MATMUL else 1
+            if len(self.inputs) > limit:
+                raise GraphValidationError(
+                    f"node {self.name!r} ({self.op}) takes at most {limit} "
+                    f"input(s), got {len(self.inputs)}"
+                )
+        else:
+            if self.layer is not None:
+                raise GraphValidationError(
+                    f"SIMD node {self.name!r} ({self.op}) must not carry a "
+                    "LayerShape"
+                )
+            if self.op in (OpKind.ADD, OpKind.CONCAT) and len(self.inputs) < 2:
+                raise GraphValidationError(
+                    f"node {self.name!r} ({self.op}) needs at least two inputs"
+                )
+            if self.op == OpKind.SOFTMAX and len(self.inputs) != 1:
+                raise GraphValidationError(
+                    f"node {self.name!r} (softmax) takes exactly one input"
+                )
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether this node maps onto the PIM macros."""
+        return OpKind.is_weighted(self.op)
+
+    @property
+    def is_join(self) -> bool:
+        """Whether this node consumes several *produced* values.
+
+        True for the branch merge points of a graph: add/concat joins and
+        two-operand attention matmuls.  Edges from the graph input do not
+        count -- a node fed twice from :data:`GRAPH_INPUT` merges nothing.
+        """
+        return sum(1 for source in self.inputs if source != GRAPH_INPUT) >= 2
+
+
+class ModelGraph:
+    """An immutable DAG of operator nodes describing one network.
+
+    Nodes must be supplied in a topological order (every input refers either
+    to :data:`GRAPH_INPUT` or to an earlier node), which makes the insertion
+    order the canonical deterministic schedule -- there is no tie-breaking
+    heuristic to drift between releases.
+
+    Args:
+        name: workload name the graph belongs to.
+        nodes: the operator nodes, topologically ordered.
+        output: name of the graph's output node (defaults to the last node).
+
+    Raises:
+        GraphValidationError: for duplicate names, dangling or forward
+            edges, an unknown output node, or an empty graph.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nodes: Sequence[GraphNode],
+        output: Optional[str] = None,
+    ) -> None:
+        self.name = str(name)
+        self.nodes: Tuple[GraphNode, ...] = tuple(nodes)
+        if not self.nodes:
+            raise GraphValidationError(f"graph {name!r} has no nodes")
+        self._by_name: Dict[str, GraphNode] = {}
+        for node in self.nodes:
+            if node.name == GRAPH_INPUT:
+                raise GraphValidationError(
+                    f"node name {GRAPH_INPUT!r} is reserved for the graph input"
+                )
+            if node.name in self._by_name:
+                raise GraphValidationError(f"duplicate node name {node.name!r}")
+            for source in node.inputs:
+                if source != GRAPH_INPUT and source not in self._by_name:
+                    raise GraphValidationError(
+                        f"node {node.name!r} consumes {source!r}, which is "
+                        "neither the graph input nor an earlier node "
+                        "(nodes must be listed in topological order)"
+                    )
+            self._by_name[node.name] = node
+        self.output = output if output is not None else self.nodes[-1].name
+        if self.output not in self._by_name:
+            raise GraphValidationError(
+                f"output node {self.output!r} does not exist"
+            )
+        self._consumers: Dict[str, Tuple[str, ...]] = {}
+        consumers: Dict[str, List[str]] = {}
+        for node in self.nodes:
+            for source in node.inputs:
+                consumers.setdefault(source, []).append(node.name)
+        self._consumers = {k: tuple(v) for k, v in consumers.items()}
+
+    def __len__(self) -> int:
+        """Number of nodes in the graph."""
+        return len(self.nodes)
+
+    def __iter__(self):
+        """Iterate the nodes in schedule (topological) order."""
+        return iter(self.nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelGraph({self.name!r}, {len(self.nodes)} nodes, "
+            f"{len(self.weighted_nodes())} weighted)"
+        )
+
+    def node(self, name: str) -> GraphNode:
+        """Look one node up by name.
+
+        Raises:
+            KeyError: listing the available node names.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown node {name!r} of graph {self.name!r}; available: "
+                f"{[n.name for n in self.nodes]}"
+            ) from None
+
+    def consumers(self, name: str) -> Tuple[GraphNode, ...]:
+        """All nodes consuming ``name``'s output, in schedule order."""
+        if name != GRAPH_INPUT:
+            self.node(name)  # raises KeyError for unknown names
+        return tuple(self._by_name[n] for n in self._consumers.get(name, ()))
+
+    def topological_order(self) -> Tuple[GraphNode, ...]:
+        """The canonical schedule: the validated insertion order."""
+        return self.nodes
+
+    def weighted_nodes(self) -> Tuple[GraphNode, ...]:
+        """The macro-mapped nodes, in schedule order."""
+        return tuple(node for node in self.nodes if node.is_weighted)
+
+    def simd_nodes(self) -> Tuple[GraphNode, ...]:
+        """The SIMD-core nodes (add/concat/softmax), in schedule order."""
+        return tuple(node for node in self.nodes if not node.is_weighted)
+
+    def join_nodes(self) -> Tuple[GraphNode, ...]:
+        """The branch merge points: nodes consuming several produced values
+        (add/concat joins and two-operand matmuls)."""
+        return tuple(node for node in self.nodes if node.is_join)
+
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        """Every (producer, consumer) edge, in consumer schedule order."""
+        return tuple(
+            (source, node.name) for node in self.nodes for source in node.inputs
+        )
+
+    def linearize(self) -> Tuple[LayerShape, ...]:
+        """The lossless legacy view: weighted layers in schedule order.
+
+        This is the projection the sparsity profiler and both cycle-model
+        engines consume; SIMD nodes carry no macro work and are priced by
+        the compiler's fusion pass instead.
+        """
+        return tuple(node.layer for node in self.weighted_nodes())
+
+    def output_payload(self, name: str) -> int:
+        """Feature-map bytes (INT8, one byte per element) of a node's output.
+
+        SIMD node payloads derive from their inputs: element-wise ops
+        (add/softmax) preserve their first input's geometry, a concat sums
+        its inputs.  The graph input's payload is reported as 0 -- it
+        streams from off-chip and never occupies the feature buffer as a
+        produced value.
+        """
+        if name == GRAPH_INPUT:
+            return 0
+        node = self.node(name)
+        if node.is_weighted:
+            return node.layer.out_channels * node.layer.output_positions
+        if node.op == OpKind.CONCAT:
+            return sum(self.output_payload(source) for source in node.inputs)
+        return self.output_payload(node.inputs[0])
+
+
+class GraphBuilder:
+    """Fluent construction helper for :class:`ModelGraph`.
+
+    Every ``add``-style method appends one node and returns its name, so
+    chains read naturally::
+
+        g = GraphBuilder("tiny")
+        x = g.conv("stem", 3, 16, 3, 32)
+        y = g.conv("conv1", 16, 16, 3, 32, inputs=x)
+        g.add("join", x, y)
+        graph = g.build()
+
+    When ``inputs`` is omitted a node consumes the previously appended node
+    (or the graph input for the first node) -- the common chain case.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._nodes: List[GraphNode] = []
+
+    @property
+    def last(self) -> str:
+        """Name of the most recently appended node (the chain head).
+
+        Raises:
+            IndexError: when no node has been appended yet.
+        """
+        return self._nodes[-1].name
+
+    def _chain(self, inputs) -> Tuple[str, ...]:
+        """Resolve an ``inputs`` argument to a tuple of source names."""
+        if inputs is None:
+            return (self._nodes[-1].name if self._nodes else GRAPH_INPUT,)
+        if isinstance(inputs, str):
+            return (inputs,)
+        return tuple(inputs)
+
+    def append(self, node: GraphNode) -> str:
+        """Append a pre-built node and return its name."""
+        self._nodes.append(node)
+        return node.name
+
+    def conv(
+        self,
+        name: str,
+        cin: int,
+        cout: int,
+        kernel: int,
+        size: int,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        inputs=None,
+    ) -> str:
+        """Append a standard convolution node."""
+        layer = LayerShape(
+            name=name,
+            kind=LayerKind.CONV,
+            in_channels=cin,
+            out_channels=cout,
+            kernel_size=kernel,
+            stride=stride,
+            input_size=size,
+            padding=kernel // 2 if padding is None else padding,
+        )
+        return self.append(
+            GraphNode(name, OpKind.CONV, self._chain(inputs), layer)
+        )
+
+    def depthwise(
+        self,
+        name: str,
+        channels: int,
+        kernel: int,
+        size: int,
+        stride: int = 1,
+        inputs=None,
+    ) -> str:
+        """Append a depthwise convolution node."""
+        layer = LayerShape(
+            name=name,
+            kind=LayerKind.DEPTHWISE,
+            in_channels=channels,
+            out_channels=channels,
+            kernel_size=kernel,
+            stride=stride,
+            input_size=size,
+            padding=kernel // 2,
+        )
+        return self.append(
+            GraphNode(name, OpKind.DEPTHWISE, self._chain(inputs), layer)
+        )
+
+    def linear(self, name: str, cin: int, cout: int, inputs=None) -> str:
+        """Append a fully connected node."""
+        layer = LayerShape(
+            name=name, kind=LayerKind.LINEAR, in_channels=cin, out_channels=cout
+        )
+        return self.append(
+            GraphNode(name, OpKind.LINEAR, self._chain(inputs), layer)
+        )
+
+    def matmul(
+        self, name: str, tokens: int, cin: int, cout: int, inputs=None
+    ) -> str:
+        """Append a token-parallel matmul node (``tokens x cin @ cin x cout``).
+
+        Pass two ``inputs`` for an activation-activation product (attention
+        scores / attention-times-values); the second operand is loaded into
+        the macros like a weight matrix.
+        """
+        layer = LayerShape(
+            name=name,
+            kind=LayerKind.MATMUL,
+            in_channels=cin,
+            out_channels=cout,
+            input_size=tokens,
+        )
+        return self.append(
+            GraphNode(name, OpKind.MATMUL, self._chain(inputs), layer)
+        )
+
+    def add(self, name: str, *inputs: str) -> str:
+        """Append an element-wise addition (residual join) node."""
+        return self.append(GraphNode(name, OpKind.ADD, tuple(inputs)))
+
+    def concat(self, name: str, *inputs: str) -> str:
+        """Append a channel-concatenation join node."""
+        return self.append(GraphNode(name, OpKind.CONCAT, tuple(inputs)))
+
+    def softmax(self, name: str, inputs=None) -> str:
+        """Append a softmax (SIMD normalisation) node."""
+        return self.append(
+            GraphNode(name, OpKind.SOFTMAX, self._chain(inputs))
+        )
+
+    def build(self, output: Optional[str] = None) -> ModelGraph:
+        """Validate and freeze the accumulated nodes into a graph."""
+        return ModelGraph(self.name, self._nodes, output=output)

@@ -1,10 +1,18 @@
 """Layer shape descriptors for the performance model.
 
 A :class:`LayerShape` captures everything the mapper / cycle model needs to
-know about a layer: its type (standard, depthwise or fully connected), the
-channel and kernel geometry and the spatial size of its input.  The full
-networks of the paper are described as lists of these records in
-:mod:`repro.workloads.models`.
+know about a layer: its type (standard, depthwise, fully connected or
+token-parallel matmul), the channel and kernel geometry and the spatial (or
+token) size of its input.  The full networks of the paper are described as
+:class:`~repro.workloads.graph.ModelGraph` DAGs whose weighted nodes each
+carry one of these records (see :mod:`repro.workloads.models`).
+
+The ``matmul`` kind models the token-parallel GEMMs of transformer-class
+workloads: ``input_size`` is reinterpreted as the number of *tokens* (output
+rows), the reduction runs over ``in_channels`` and each token produces
+``out_channels`` outputs.  Activation-activation products (attention scores,
+attention-times-values) reuse the same record -- on a weight-stationary PIM
+the second operand is loaded into the macros exactly like a weight matrix.
 """
 
 from __future__ import annotations
@@ -20,11 +28,17 @@ class LayerKind:
     CONV = "conv"
     DEPTHWISE = "depthwise"
     LINEAR = "linear"
+    MATMUL = "matmul"
 
-    _ALL = (CONV, DEPTHWISE, LINEAR)
+    _ALL = (CONV, DEPTHWISE, LINEAR, MATMUL)
 
     @classmethod
     def validate(cls, kind: str) -> str:
+        """Check a layer-kind name, returning it unchanged.
+
+        Raises:
+            ValueError: for an unknown kind.
+        """
         if kind not in cls._ALL:
             raise ValueError(f"unknown layer kind {kind!r}; expected one of {cls._ALL}")
         return kind
@@ -37,11 +51,14 @@ class LayerShape:
     Attributes:
         name: layer name (unique within its model).
         kind: one of :class:`LayerKind`.
-        in_channels: input channels (input features for a linear layer).
-        out_channels: output channels / filters (output features for linear).
-        kernel_size: spatial kernel size (1 for linear layers).
-        stride: spatial stride (1 for linear layers).
-        input_size: input spatial resolution (1 for linear layers).
+        in_channels: input channels (input features for a linear layer, the
+            reduction length for a matmul).
+        out_channels: output channels / filters (output features for linear,
+            output columns for a matmul).
+        kernel_size: spatial kernel size (1 for linear/matmul layers).
+        stride: spatial stride (1 for linear/matmul layers).
+        input_size: input spatial resolution (1 for linear layers, the
+            *token count* for a matmul).
         padding: spatial padding.
     """
 
@@ -67,8 +84,8 @@ class LayerShape:
 
     @property
     def output_size(self) -> int:
-        """Output spatial resolution."""
-        if self.kind == LayerKind.LINEAR:
+        """Output spatial resolution (1 for linear and matmul layers)."""
+        if self.kind in (LayerKind.LINEAR, LayerKind.MATMUL):
             return 1
         out = (self.input_size + 2 * self.padding - self.kernel_size) // self.stride + 1
         if out <= 0:
@@ -77,13 +94,15 @@ class LayerShape:
 
     @property
     def output_positions(self) -> int:
-        """Number of output pixels (1 for linear layers)."""
+        """Number of output pixels (1 for linear layers, tokens for matmul)."""
+        if self.kind == LayerKind.MATMUL:
+            return self.input_size
         return self.output_size * self.output_size
 
     @property
     def reduction_size(self) -> int:
         """Elements reduced per output value (the dot-product length)."""
-        if self.kind == LayerKind.LINEAR:
+        if self.kind in (LayerKind.LINEAR, LayerKind.MATMUL):
             return self.in_channels
         if self.kind == LayerKind.DEPTHWISE:
             return self.kernel_size * self.kernel_size
@@ -104,4 +123,6 @@ class LayerShape:
         """Input activations read by one inference (before im2col reuse)."""
         if self.kind == LayerKind.LINEAR:
             return self.in_channels
+        if self.kind == LayerKind.MATMUL:
+            return self.in_channels * self.input_size
         return self.in_channels * self.input_size * self.input_size

@@ -1,50 +1,80 @@
-"""Full-size layer tables of the paper's five evaluation networks.
+"""Graph-native workload tables of the evaluation networks.
 
-These are the CIFAR-style (32x32 input) variants of AlexNet, VGG-19,
-ResNet-18, MobileNetV2 and EfficientNet-B0 -- the layer geometries that the
-cycle-level performance model maps onto the accelerator.  Channel counts and
-strides follow the standard CIFAR adaptations of each architecture; 1x1
-downsampling shortcuts and squeeze-excite layers are omitted because their
-contribution to total MACs is negligible for the speedup/energy trends the
-experiments reproduce.
+The five CIFAR-style (32x32 input) paper networks -- AlexNet, VGG-19,
+ResNet-18, MobileNetV2 and EfficientNet-B0 -- are described as
+:class:`~repro.workloads.graph.ModelGraph` DAGs with their residual and
+branch structure intact: ResNet-18 and MobileNetV2 carry their 1x1
+downsampling-shortcut convolutions (previously omitted from the flat layer
+tables) and explicit element-wise ``add`` join nodes; EfficientNet-B0
+carries its identity MBConv residuals (squeeze-excite stays omitted, as in
+the paper's tables).  Channel counts and strides follow the standard CIFAR
+adaptations of each architecture.
+
+Two transformer-class workloads -- ``vit_tiny`` (patch-embedding ViT
+encoder) and ``transformer_tiny`` (encoder-only attention-block stack) --
+exist *only* as graphs: their attention blocks branch into Q/K/V
+projections, join through activation-activation matmuls and softmax nodes,
+and close two residual adds per block.
+
+Every workload still exposes the historical flat ``layers`` tuple through
+the lossless :meth:`~repro.workloads.graph.ModelGraph.linearize` view, so
+sparsity profiling, both cycle-model engines and all registered presets
+keep working unchanged (see ``docs/workloads.md`` for the contract and the
+cycle-count delta of the restored shortcut layers).
 
 Every model also carries a ``redundancy`` knob in 0..1 used by
 :mod:`repro.workloads.profiles` when synthesising representative weights:
 standard over-parameterised networks (AlexNet, VGG) have most of their
-quantized weights near zero (high redundancy → FTA thresholds mostly 1),
+quantized weights near zero (high redundancy -> FTA thresholds mostly 1),
 while compact networks (MobileNetV2, EfficientNet-B0) spread their weight
-energy much more evenly (low redundancy → thresholds mostly 2).  This mirrors
-the weight-distribution observation the paper builds the FTA algorithm on.
+energy much more evenly (low redundancy -> thresholds mostly 2).
+Transformer blocks sit between the two regimes.  This mirrors the
+weight-distribution observation the paper builds the FTA algorithm on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from .layers import LayerKind, LayerShape
+from .graph import GraphBuilder, ModelGraph
+from .layers import LayerShape
 
-__all__ = ["ModelWorkload", "PAPER_MODELS", "get_workload", "list_workloads"]
+__all__ = [
+    "ModelWorkload",
+    "PAPER_MODELS",
+    "TRANSFORMER_MODELS",
+    "WORKLOADS",
+    "WORKLOAD_FAMILIES",
+    "get_workload",
+    "list_workloads",
+    "workload_family",
+]
 
 
 @dataclass(frozen=True)
 class ModelWorkload:
-    """A named network described as a list of weighted layers.
+    """A named network: a layer table plus (optionally) its source graph.
 
     Attributes:
         name: paper name of the model (e.g. ``"alexnet"``).
-        layers: weighted layers in execution order.
+        layers: weighted layers in execution order -- for graph-built
+            workloads this is exactly ``graph.linearize()``.
         redundancy: 0..1 knob describing how concentrated the weight
             distribution is (see module docstring).
         activation_density: 0..1 typical fraction of non-zero activation
-            values feeding the layers (post-ReLU), used when synthesising
-            representative input features.
+            values feeding the layers (post-ReLU/GELU), used when
+            synthesising representative input features.
+        graph: the full DAG of the workload (``None`` for purely linear
+            legacy tables); carries the branch/join structure the compiler's
+            fusion and liveness passes consume.
     """
 
     name: str
     layers: Tuple[LayerShape, ...]
     redundancy: float
     activation_density: float
+    graph: Optional[ModelGraph] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.redundancy <= 1.0:
@@ -53,62 +83,52 @@ class ModelWorkload:
             raise ValueError("activation_density must be in (0, 1]")
         if not self.layers:
             raise ValueError("a workload needs at least one layer")
+        if self.graph is not None and self.graph.linearize() != self.layers:
+            raise ValueError(
+                f"workload {self.name!r}: layers must equal graph.linearize() "
+                "(the lossless flat view)"
+            )
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: ModelGraph,
+        redundancy: float,
+        activation_density: float,
+    ) -> "ModelWorkload":
+        """Build a workload from a graph, deriving the flat layer view."""
+        return cls(
+            name=graph.name,
+            layers=graph.linearize(),
+            redundancy=redundancy,
+            activation_density=activation_density,
+            graph=graph,
+        )
 
     @property
     def total_macs(self) -> int:
+        """Multiply-accumulates of one inference, summed over all layers."""
         return sum(layer.macs for layer in self.layers)
 
     @property
     def total_weights(self) -> int:
+        """Weight count of the whole network."""
         return sum(layer.weight_count for layer in self.layers)
 
 
-def _conv(name, cin, cout, k, size, stride=1, padding=None) -> LayerShape:
-    if padding is None:
-        padding = k // 2
-    return LayerShape(
-        name=name,
-        kind=LayerKind.CONV,
-        in_channels=cin,
-        out_channels=cout,
-        kernel_size=k,
-        stride=stride,
-        input_size=size,
-        padding=padding,
-    )
-
-
-def _dw(name, channels, k, size, stride=1) -> LayerShape:
-    return LayerShape(
-        name=name,
-        kind=LayerKind.DEPTHWISE,
-        in_channels=channels,
-        out_channels=channels,
-        kernel_size=k,
-        stride=stride,
-        input_size=size,
-        padding=k // 2,
-    )
-
-
-def _fc(name, cin, cout) -> LayerShape:
-    return LayerShape(
-        name=name, kind=LayerKind.LINEAR, in_channels=cin, out_channels=cout
-    )
-
-
 def _alexnet() -> ModelWorkload:
-    layers = (
-        _conv("conv1", 3, 64, 3, 32),
-        _conv("conv2", 64, 192, 3, 16),
-        _conv("conv3", 192, 384, 3, 8),
-        _conv("conv4", 384, 256, 3, 8),
-        _conv("conv5", 256, 256, 3, 8),
-        _fc("fc6", 256 * 4 * 4, 4096),
-        _fc("fc7", 4096, 4096),
-        _fc("fc8", 4096, 100),
+    g = GraphBuilder("alexnet")
+    g.conv("conv1", 3, 64, 3, 32)
+    g.conv("conv2", 64, 192, 3, 16)
+    g.conv("conv3", 192, 384, 3, 8)
+    g.conv("conv4", 384, 256, 3, 8)
+    g.conv("conv5", 256, 256, 3, 8)
+    g.linear("fc6", 256 * 4 * 4, 4096)
+    g.linear("fc7", 4096, 4096)
+    g.linear("fc8", 4096, 100)
+    return ModelWorkload.from_graph(
+        g.build(), redundancy=0.92, activation_density=0.45
     )
-    return ModelWorkload("alexnet", layers, redundancy=0.92, activation_density=0.45)
 
 
 def _vgg19() -> ModelWorkload:
@@ -130,16 +150,19 @@ def _vgg19() -> ModelWorkload:
         (512, 512, 2),
         (512, 512, 2),
     ]
-    layers: List[LayerShape] = [
-        _conv(f"conv{i + 1}", cin, cout, 3, size) for i, (cin, cout, size) in enumerate(spec)
-    ]
-    layers.append(_fc("fc1", 512, 512))
-    layers.append(_fc("fc2", 512, 100))
-    return ModelWorkload("vgg19", tuple(layers), redundancy=0.78, activation_density=0.5)
+    g = GraphBuilder("vgg19")
+    for i, (cin, cout, size) in enumerate(spec):
+        g.conv(f"conv{i + 1}", cin, cout, 3, size)
+    g.linear("fc1", 512, 512)
+    g.linear("fc2", 512, 100)
+    return ModelWorkload.from_graph(
+        g.build(), redundancy=0.78, activation_density=0.5
+    )
 
 
 def _resnet18() -> ModelWorkload:
-    layers: List[LayerShape] = [_conv("stem", 3, 64, 3, 32)]
+    g = GraphBuilder("resnet18")
+    x = g.conv("stem", 3, 64, 3, 32)
     stage_spec = [
         ("layer1", 64, 64, 32, 1),
         ("layer2", 64, 128, 32, 2),
@@ -147,48 +170,100 @@ def _resnet18() -> ModelWorkload:
         ("layer4", 256, 512, 8, 2),
     ]
     for name, cin, cout, size, stride in stage_spec:
-        layers.append(_conv(f"{name}.0.conv1", cin, cout, 3, size, stride=stride))
         out_size = size // stride
-        layers.append(_conv(f"{name}.0.conv2", cout, cout, 3, out_size))
-        layers.append(_conv(f"{name}.1.conv1", cout, cout, 3, out_size))
-        layers.append(_conv(f"{name}.1.conv2", cout, cout, 3, out_size))
-    layers.append(_fc("fc", 512, 100))
-    return ModelWorkload("resnet18", tuple(layers), redundancy=0.7, activation_density=0.5)
+        # Block 0: possibly strided, with the (previously omitted) 1x1
+        # downsampling-shortcut projection when the geometry changes.
+        c1 = g.conv(f"{name}.0.conv1", cin, cout, 3, size, stride=stride, inputs=x)
+        c2 = g.conv(f"{name}.0.conv2", cout, cout, 3, out_size, inputs=c1)
+        if stride != 1 or cin != cout:
+            shortcut = g.conv(
+                f"{name}.0.downsample", cin, cout, 1, size,
+                stride=stride, padding=0, inputs=x,
+            )
+        else:
+            shortcut = x
+        x = g.add(f"{name}.0.add", c2, shortcut)
+        # Block 1: identity residual.
+        c1 = g.conv(f"{name}.1.conv1", cout, cout, 3, out_size, inputs=x)
+        c2 = g.conv(f"{name}.1.conv2", cout, cout, 3, out_size, inputs=c1)
+        x = g.add(f"{name}.1.add", c2, x)
+    g.linear("fc", 512, 100, inputs=x)
+    return ModelWorkload.from_graph(
+        g.build(), redundancy=0.7, activation_density=0.5
+    )
 
 
-def _mobilenetv2() -> ModelWorkload:
-    layers: List[LayerShape] = [_conv("stem", 3, 32, 3, 32)]
-    # (expansion, cout, repeats, stride) per stage, CIFAR strides.
-    stages = [
-        (1, 16, 1, 1),
-        (6, 24, 2, 1),
-        (6, 32, 3, 2),
-        (6, 64, 4, 2),
-        (6, 96, 3, 1),
-        (6, 160, 3, 2),
-        (6, 320, 1, 1),
-    ]
-    cin, size = 32, 32
-    for stage_index, (expansion, cout, repeats, stride) in enumerate(stages):
+def _inverted_residual_stages(
+    g: GraphBuilder,
+    stages,
+    cin: int,
+    size: int,
+    prefix: str,
+    downsample_shortcuts: bool = False,
+) -> Tuple[str, int, int]:
+    """Append MBConv stages, restoring residual joins (and, optionally,
+    the 1x1 downsampling shortcuts).
+
+    Every ``(expansion, cout, repeats, stride, kernel)`` stage expands to
+    expand -> depthwise -> project blocks.  Stride-1 blocks with matching
+    channel counts close an identity residual ``add``; with
+    ``downsample_shortcuts`` the stride-2 stage entries additionally carry
+    the 1x1 downsampling-shortcut projection the flat tables used to omit
+    (MobileNetV2 only -- EfficientNet-B0 keeps its canonical
+    identity-residual-only form).  Returns the last node name plus the
+    final (channels, spatial size).
+    """
+    x = g.last
+    for stage_index, (expansion, cout, repeats, stride, kernel) in enumerate(stages):
         for repeat in range(repeats):
             block_stride = stride if repeat == 0 else 1
             hidden = cin * expansion
-            prefix = f"block{stage_index}.{repeat}"
+            name = f"{prefix}{stage_index}.{repeat}"
+            block_input = x
             if expansion != 1:
-                layers.append(_conv(f"{prefix}.expand", cin, hidden, 1, size, padding=0))
-            layers.append(_dw(f"{prefix}.dw", hidden, 3, size, stride=block_stride))
-            size = size // block_stride
-            layers.append(_conv(f"{prefix}.project", hidden, cout, 1, size, padding=0))
+                x = g.conv(f"{name}.expand", cin, hidden, 1, size, padding=0, inputs=x)
+            x = g.depthwise(f"{name}.dw", hidden, kernel, size, stride=block_stride, inputs=x)
+            out_size = size // block_stride
+            x = g.conv(f"{name}.project", hidden, cout, 1, out_size, padding=0, inputs=x)
+            if block_stride == 1 and cin == cout:
+                x = g.add(f"{name}.add", x, block_input)
+            elif block_stride != 1 and downsample_shortcuts:
+                shortcut = g.conv(
+                    f"{name}.downsample", cin, cout, 1, size,
+                    stride=block_stride, padding=0, inputs=block_input,
+                )
+                x = g.add(f"{name}.add", x, shortcut)
+            size = out_size
             cin = cout
-    layers.append(_conv("head", cin, 1280, 1, size, padding=0))
-    layers.append(_fc("classifier", 1280, 100))
-    return ModelWorkload(
-        "mobilenetv2", tuple(layers), redundancy=0.42, activation_density=0.6
+    return x, cin, size
+
+
+def _mobilenetv2() -> ModelWorkload:
+    g = GraphBuilder("mobilenetv2")
+    g.conv("stem", 3, 32, 3, 32)
+    # (expansion, cout, repeats, stride, kernel) per stage, CIFAR strides.
+    stages = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 1, 3),
+        (6, 32, 3, 2, 3),
+        (6, 64, 4, 2, 3),
+        (6, 96, 3, 1, 3),
+        (6, 160, 3, 2, 3),
+        (6, 320, 1, 1, 3),
+    ]
+    x, cin, size = _inverted_residual_stages(
+        g, stages, 32, 32, "block", downsample_shortcuts=True
+    )
+    x = g.conv("head", cin, 1280, 1, size, padding=0, inputs=x)
+    g.linear("classifier", 1280, 100, inputs=x)
+    return ModelWorkload.from_graph(
+        g.build(), redundancy=0.42, activation_density=0.6
     )
 
 
 def _efficientnet_b0() -> ModelWorkload:
-    layers: List[LayerShape] = [_conv("stem", 3, 32, 3, 32)]
+    g = GraphBuilder("efficientnetb0")
+    g.conv("stem", 3, 32, 3, 32)
     # (expansion, cout, repeats, stride, kernel) per MBConv stage.
     stages = [
         (1, 16, 1, 1, 3),
@@ -199,22 +274,59 @@ def _efficientnet_b0() -> ModelWorkload:
         (6, 192, 4, 2, 5),
         (6, 320, 1, 1, 3),
     ]
-    cin, size = 32, 32
-    for stage_index, (expansion, cout, repeats, stride, kernel) in enumerate(stages):
-        for repeat in range(repeats):
-            block_stride = stride if repeat == 0 else 1
-            hidden = cin * expansion
-            prefix = f"mbconv{stage_index}.{repeat}"
-            if expansion != 1:
-                layers.append(_conv(f"{prefix}.expand", cin, hidden, 1, size, padding=0))
-            layers.append(_dw(f"{prefix}.dw", hidden, kernel, size, stride=block_stride))
-            size = size // block_stride
-            layers.append(_conv(f"{prefix}.project", hidden, cout, 1, size, padding=0))
-            cin = cout
-    layers.append(_conv("head", cin, 1280, 1, size, padding=0))
-    layers.append(_fc("classifier", 1280, 100))
-    return ModelWorkload(
-        "efficientnetb0", tuple(layers), redundancy=0.38, activation_density=0.65
+    x, cin, size = _inverted_residual_stages(g, stages, 32, 32, "mbconv")
+    x = g.conv("head", cin, 1280, 1, size, padding=0, inputs=x)
+    g.linear("classifier", 1280, 100, inputs=x)
+    return ModelWorkload.from_graph(
+        g.build(), redundancy=0.38, activation_density=0.65
+    )
+
+
+def _attention_blocks(
+    g: GraphBuilder, x: str, blocks: int, tokens: int, dim: int, mlp_ratio: int
+) -> str:
+    """Append pre-norm-style attention + MLP encoder blocks to a graph.
+
+    Each block branches into Q/K/V projections, joins Q and K in an
+    activation-activation ``scores`` matmul, normalises with a softmax SIMD
+    node, joins the attention matrix with V, projects back and closes two
+    residual ``add`` nodes (attention and MLP).  Returns the output node.
+    """
+    for i in range(blocks):
+        name = f"block{i}"
+        q = g.matmul(f"{name}.q", tokens, dim, dim, inputs=x)
+        k = g.matmul(f"{name}.k", tokens, dim, dim, inputs=x)
+        v = g.matmul(f"{name}.v", tokens, dim, dim, inputs=x)
+        scores = g.matmul(f"{name}.scores", tokens, dim, tokens, inputs=(q, k))
+        attn = g.softmax(f"{name}.softmax", inputs=scores)
+        context = g.matmul(f"{name}.context", tokens, tokens, dim, inputs=(attn, v))
+        proj = g.matmul(f"{name}.proj", tokens, dim, dim, inputs=context)
+        res = g.add(f"{name}.add_attn", proj, x)
+        mlp1 = g.matmul(f"{name}.mlp1", tokens, dim, dim * mlp_ratio, inputs=res)
+        mlp2 = g.matmul(f"{name}.mlp2", tokens, dim * mlp_ratio, dim, inputs=mlp1)
+        x = g.add(f"{name}.add_mlp", mlp2, res)
+    return x
+
+
+def _vit_tiny() -> ModelWorkload:
+    # 32x32 input, 4x4 patches -> 64 tokens of dimension 128, 4 blocks.
+    g = GraphBuilder("vit_tiny")
+    x = g.conv("patch_embed", 3, 128, 4, 32, stride=4, padding=0)
+    x = _attention_blocks(g, x, blocks=4, tokens=64, dim=128, mlp_ratio=4)
+    g.linear("head", 128, 100, inputs=x)
+    return ModelWorkload.from_graph(
+        g.build(), redundancy=0.55, activation_density=0.55
+    )
+
+
+def _transformer_tiny() -> ModelWorkload:
+    # Encoder-only stack over 64 tokens of 64-dim features embedded to 192.
+    g = GraphBuilder("transformer_tiny")
+    x = g.matmul("embed", 64, 64, 192)
+    x = _attention_blocks(g, x, blocks=4, tokens=64, dim=192, mlp_ratio=4)
+    g.linear("head", 192, 100, inputs=x)
+    return ModelWorkload.from_graph(
+        g.build(), redundancy=0.5, activation_density=0.6
     )
 
 
@@ -230,15 +342,59 @@ PAPER_MODELS: Dict[str, ModelWorkload] = {
     )
 }
 
+#: Transformer-class workloads (graph-only: attention branches + softmax).
+TRANSFORMER_MODELS: Dict[str, ModelWorkload] = {
+    workload.name: workload
+    for workload in (
+        _vit_tiny(),
+        _transformer_tiny(),
+    )
+}
+
+#: Every registered workload, keyed by name.
+WORKLOADS: Dict[str, ModelWorkload] = {**PAPER_MODELS, **TRANSFORMER_MODELS}
+
+#: Workload families, in listing order.
+WORKLOAD_FAMILIES: Dict[str, Dict[str, ModelWorkload]] = {
+    "paper": PAPER_MODELS,
+    "transformer": TRANSFORMER_MODELS,
+}
+
 
 def get_workload(name: str) -> ModelWorkload:
-    """Look a workload up by (case-insensitive) paper name."""
+    """Look a workload up by (case-insensitive) name, across all families."""
     key = name.lower()
-    if key not in PAPER_MODELS:
-        raise KeyError(f"unknown workload {name!r}; available: {sorted(PAPER_MODELS)}")
-    return PAPER_MODELS[key]
+    if key not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOADS)}")
+    return WORKLOADS[key]
 
 
-def list_workloads() -> List[str]:
-    """Names of all available workloads, in the paper's order."""
-    return list(PAPER_MODELS)
+def list_workloads(family: Optional[str] = "paper") -> List[str]:
+    """Names of the available workloads.
+
+    Args:
+        family: ``"paper"`` (default) for the five evaluation networks of
+            the paper -- the set every experiment runs when no models are
+            requested -- ``"transformer"`` for the attention-block
+            workloads, or ``None`` for every registered workload.
+
+    Raises:
+        KeyError: for an unknown family name.
+    """
+    if family is None:
+        return list(WORKLOADS)
+    if family not in WORKLOAD_FAMILIES:
+        raise KeyError(
+            f"unknown workload family {family!r}; available: "
+            f"{list(WORKLOAD_FAMILIES)} (or None for all)"
+        )
+    return list(WORKLOAD_FAMILIES[family])
+
+
+def workload_family(name: str) -> str:
+    """The family name (``"paper"`` / ``"transformer"``) of one workload."""
+    key = name.lower()
+    for family, members in WORKLOAD_FAMILIES.items():
+        if key in members:
+            return family
+    raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOADS)}")

@@ -111,6 +111,7 @@ class ModelSparsityProfile:
         )
 
     def threshold_histogram(self) -> Dict[int, int]:
+        """Histogram of the per-filter FTA thresholds over every layer."""
         histogram: Dict[int, int] = {}
         for profile in self.layers:
             for value in profile.thresholds:

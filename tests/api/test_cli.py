@@ -16,6 +16,13 @@ class TestList:
         assert "alexnet" in out
         assert "paper-28nm" in out
 
+    def test_listing_enumerates_workload_graphs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        # Every family appears, with graph structure per workload.
+        assert "vit_tiny" in out and "transformer" in out
+        assert "joins" in out and "nodes" in out
+
     def test_json_listing(self, capsys):
         assert main(["list", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
@@ -23,6 +30,10 @@ class TestList:
             "fig2a", "fig2b", "fig7",
         ]
         assert "dense-baseline" in payload["configs"]
+        assert "vit_tiny" in payload["workloads"]
+        by_name = {entry["name"]: entry for entry in payload["graphs"]}
+        assert by_name["resnet18"]["joins"] == 8
+        assert by_name["vit_tiny"]["family"] == "transformer"
 
 
 class TestRun:
@@ -57,6 +68,35 @@ class TestRun:
         assert main(["run", "fig7", "--epochs", "3"]) == 2
         assert "does not take --epochs" in capsys.readouterr().err
 
+    def test_workload_alias_selects_models(self, capsys):
+        argv = ["run", "graph", "--workload", "vit_tiny", "--json", "-", "--quiet"]
+        assert main(argv) == 0
+        result = ExperimentResult.from_json(capsys.readouterr().out)
+        assert result.experiment == "graph"
+        assert [row.model for row in result.rows] == ["vit_tiny"]
+        assert result.rows[0].family == "transformer"
+        assert result.rows[0].joins > 0
+
+    def test_unknown_workload_via_alias_exits_2(self, capsys):
+        assert main(["run", "graph", "--workload", "vgg99"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error" in err and "unknown workload" in err
+
+    def test_trace_engine_rejected_outside_program(self, capsys):
+        assert main(["run", "fig7", "--engine", "trace"]) == 2
+        assert "only" in capsys.readouterr().err
+
+    def test_program_runs_transformer_workload(self, capsys):
+        argv = [
+            "run", "program", "--workload", "transformer_tiny",
+            "--engine", "trace", "--json", "-", "--quiet",
+        ]
+        assert main(argv) == 0
+        result = ExperimentResult.from_json(capsys.readouterr().out)
+        (row,) = result.rows
+        assert row.model == "transformer_tiny"
+        assert row.max_relative_error <= 1e-4
+
 
 class TestSweep:
     def test_sweep_writes_json_and_uses_cache(self, capsys, tmp_path):
@@ -76,6 +116,24 @@ class TestSweep:
         warm = SweepResult.load(out_path)
         assert warm.cache_hits == 2 and warm.cache_misses == 0
         assert warm.results == sweep.results
+
+    def test_sweep_caches_transformer_program_points(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "sweep",
+            "--experiments", "program", "graph",
+            "--models", "vit_tiny",
+            "--cache-dir", str(cache_dir),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0  # warm cache: no recompute
+        out_path = tmp_path / "sweep.json"
+        assert main(argv + ["--json", str(out_path)]) == 0
+        sweep = SweepResult.load(out_path)
+        assert sweep.cache_hits == 2 and sweep.cache_misses == 0
+        assert {r.experiment for r in sweep.results} == {"program", "graph"}
+        assert all(r.params["models"] == ["vit_tiny"] for r in sweep.results)
 
     def test_sweep_prints_sections(self, capsys):
         assert main(["sweep", "--experiments", "table4"]) == 0

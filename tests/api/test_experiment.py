@@ -44,7 +44,7 @@ class TestRegistry:
         ids = [spec.id for spec in list_experiments()]
         assert ids == [
             "fig2a", "fig2b", "fig7", "table1", "table2", "table3", "table4",
-            "program",
+            "program", "graph",
         ]
 
     def test_spec_lookup_is_case_insensitive(self):

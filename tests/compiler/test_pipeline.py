@@ -53,6 +53,8 @@ class TestLowerAndPasses:
         assert module.pass_log == [
             "assign-thresholds",
             "map-tiling",
+            "fuse-elementwise",
+            "plan-feature-liveness",
             "overlap-double-buffer",
             "split-instruction-buffer",
         ]

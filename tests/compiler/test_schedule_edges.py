@@ -1,0 +1,260 @@
+"""Edge-case tests for compiler scheduling plus the graph-aware passes:
+empty modules, single-layer models, exact instruction-buffer boundaries,
+elementwise fusion, and liveness-driven overlap decisions."""
+
+import pytest
+
+from repro.arch.config import BufferConfig, DBPIMConfig
+from repro.compiler.codegen import emit_module
+from repro.compiler.isa import Opcode
+from repro.compiler.passes import epilogue_instructions_of
+from repro.compiler.pipeline import (
+    CompilationError,
+    ModuleIR,
+    PassManager,
+    compile_model,
+    default_passes,
+    lower_model,
+)
+from repro.compiler.schedule import (
+    LivenessInterval,
+    ProgramSplitError,
+    fusion_anchors,
+    plan_feature_liveness,
+    plan_layer_segments,
+    resident_payload_at,
+)
+from repro.sim.cycle_model import CycleModel
+from repro.sim.trace import TRACE_TOLERANCE, TraceSimulator, relative_cycle_error
+from repro.workloads.graph import GRAPH_INPUT, GraphBuilder
+from repro.workloads.models import ModelWorkload, get_workload
+from repro.workloads.profiles import profile_model
+
+
+def _residual_workload() -> ModelWorkload:
+    g = GraphBuilder("tiny-residual")
+    x = g.conv("stem", 3, 16, 3, 16)
+    c1 = g.conv("conv1", 16, 16, 3, 16, inputs=x)
+    c2 = g.conv("conv2", 16, 16, 3, 16, inputs=c1)
+    g.add("join", c2, x)
+    g.linear("fc", 16, 10, inputs="join")
+    return ModelWorkload.from_graph(g.build(), redundancy=0.6, activation_density=0.5)
+
+
+class TestScheduleEdgeCases:
+    def test_empty_module_emits_empty_program(self):
+        """An empty module runs the whole pass list and emits nothing."""
+        workload = get_workload("alexnet")
+        module = ModuleIR(workload=workload, config=DBPIMConfig(), variant="hybrid")
+        PassManager(default_passes(module)[1:]).run(module)  # skip thresholds
+        program, infos = emit_module(module)
+        assert len(program) == 0
+        assert infos == []
+        assert program.segments == ()
+
+    def test_single_layer_model_end_to_end(self):
+        g = GraphBuilder("one-layer")
+        g.conv("only", 3, 8, 3, 8)
+        workload = ModelWorkload.from_graph(
+            g.build(), redundancy=0.5, activation_density=0.5
+        )
+        profile = profile_model(workload, seed=0)
+        compiled = compile_model(profile, variant="hybrid")
+        assert [info.name for info in compiled.layers] == ["only"]
+        trace = TraceSimulator().run(compiled)
+        analytical = CycleModel().run_model(profile, "hybrid")
+        assert relative_cycle_error(trace, analytical) <= TRACE_TOLERANCE
+
+    def test_zero_iterations_produce_epilogue_only_plan(self):
+        plans = plan_layer_segments(
+            "degenerate",
+            iterations=0,
+            load_instructions=2,
+            tile_instructions=8,
+            epilogue_instructions=2,
+            hoisted=False,
+            capacity_bytes=64 * 8,
+        )
+        assert len(plans) == 1
+        assert plans[0].iterations == 0
+        assert plans[0].epilogue
+
+    def test_zero_iterations_with_oversized_epilogue_raise(self):
+        with pytest.raises(ProgramSplitError, match="epilogue"):
+            plan_layer_segments(
+                "degenerate",
+                iterations=0,
+                load_instructions=0,
+                tile_instructions=0,
+                epilogue_instructions=100,
+                hoisted=False,
+                capacity_bytes=8 * 8,
+            )
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ProgramSplitError, match="non-negative"):
+            plan_layer_segments(
+                "bad",
+                iterations=-1,
+                load_instructions=1,
+                tile_instructions=1,
+                epilogue_instructions=1,
+                hoisted=False,
+                capacity_bytes=64,
+            )
+
+    def test_segment_boundary_exactly_on_capacity(self):
+        """Chunks that divide the capacity exactly fill segments to the
+        last instruction -- and the epilogue spills into its own segment."""
+        # chunk = 8 + 1 + 1 = 10 instructions; capacity = 40 = 4 chunks.
+        plans = plan_layer_segments(
+            "exact",
+            iterations=8,
+            load_instructions=1,
+            tile_instructions=8,
+            epilogue_instructions=2,
+            hoisted=False,
+            capacity_bytes=40 * 8,
+        )
+        assert [p.iterations for p in plans] == [4, 4, 0]
+        # Both full segments land exactly on the 40-instruction boundary.
+        assert plans[0].iterations * 10 == 40
+        assert plans[1].iterations * 10 == 40
+        # The epilogue could not share the second (full) segment.
+        assert plans[-1].epilogue and plans[-1].iterations == 0
+
+    def test_epilogue_fits_exactly_into_last_segment(self):
+        # Last segment holds 3 chunks (30) + epilogue (10) == capacity.
+        plans = plan_layer_segments(
+            "snug",
+            iterations=7,
+            load_instructions=1,
+            tile_instructions=8,
+            epilogue_instructions=10,
+            hoisted=False,
+            capacity_bytes=40 * 8,
+        )
+        assert [p.iterations for p in plans] == [4, 3]
+        assert plans[-1].epilogue
+        assert plans[-1].iterations * 10 + 10 == 40
+
+
+class TestLivenessPlanning:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return _residual_workload()
+
+    def test_fusion_anchors(self, workload):
+        anchors = fusion_anchors(workload.graph)
+        assert anchors[GRAPH_INPUT] == -1
+        assert anchors["stem"] == 0
+        assert anchors["conv2"] == 2
+        assert anchors["join"] == 2  # fused into conv2's epilogue
+        assert anchors["fc"] == 3
+
+    def test_liveness_intervals(self, workload):
+        intervals = {
+            i.value: i for i in plan_feature_liveness(workload.graph)
+        }
+        # The stem's output is consumed by conv1 and the join (anchor 2).
+        assert (intervals["stem"].start, intervals["stem"].end) == (0, 2)
+        # conv1 -> conv2 is a pure chain edge.
+        assert (intervals["conv1"].start, intervals["conv1"].end) == (1, 2)
+        # The join value (aliasing conv2's epilogue) feeds the fc layer.
+        assert (intervals["join"].start, intervals["join"].end) == (2, 3)
+        assert intervals["stem"].payload_bytes == 16 * 16 * 16
+        assert intervals["stem"].spans_layers == 2
+
+    def test_resident_payload_excludes_pure_chains(self, workload):
+        intervals = plan_feature_liveness(workload.graph)
+        payload = 16 * 16 * 16
+        # While conv1 and conv2 run, the stem output is parked in the
+        # feature buffer for the join; pure chain inputs never count.
+        assert resident_payload_at(intervals, 0) == 0
+        assert resident_payload_at(intervals, 1) == payload
+        assert resident_payload_at(intervals, 2) == payload
+        assert resident_payload_at(intervals, 3) == 0
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError, match="start <= end"):
+            LivenessInterval("v", 3, 2, 10)
+        with pytest.raises(ValueError, match="non-negative"):
+            LivenessInterval("v", 0, 1, -1)
+
+
+class TestGraphPasses:
+    @pytest.fixture(scope="class")
+    def module(self):
+        profile = profile_model(_residual_workload(), seed=0)
+        module = lower_model(profile, variant="hybrid")
+        PassManager(default_passes(module)).run(module)
+        return module
+
+    def test_fused_ops_recorded_on_anchor(self, module):
+        by_name = {node.layer.name: node for node in module.layers}
+        fused = by_name["conv2"].fused_ops
+        assert [f.name for f in fused] == ["join"]
+        assert fused[0].op == "add"
+        assert fused[0].elements == 16 * 16 * 16
+        assert fused[0].residual_bytes == 16 * 16 * 16
+        assert by_name["stem"].fused_ops == ()
+
+    def test_resident_bytes_annotated(self, module):
+        by_name = {node.layer.name: node for node in module.layers}
+        assert by_name["conv1"].resident_feature_bytes == 16 * 16 * 16
+        assert by_name["stem"].resident_feature_bytes == 0
+        assert module.liveness  # plan retained for reporting
+
+    def test_epilogue_instruction_count_includes_residual_stream(self, module):
+        by_name = {node.layer.name: node for node in module.layers}
+        assert epilogue_instructions_of(by_name["stem"]) == 2
+        assert epilogue_instructions_of(by_name["conv2"]) == 4
+
+    def test_emitted_program_streams_residual(self, module):
+        program, infos = emit_module(module)
+        residual_loads = [
+            i for i in program
+            if i.opcode is Opcode.LOAD_FEATURES and i.operand("residual")
+        ]
+        assert len(residual_loads) == 1
+        assert residual_loads[0].operand("bytes") == 16 * 16 * 16
+        by_name = {info.name: info for info in infos}
+        assert by_name["conv2"].fused_ops == ("join",)
+        assert by_name["conv2"].residual_bytes == 16 * 16 * 16
+        # The epilogue SIMD op covers the layer output plus the fused add.
+        simd = [
+            i for i in program if i.opcode is Opcode.SIMD_OP
+        ]
+        conv2_simd = max(i.operand("elements") for i in simd)
+        assert conv2_simd == 2 * 16 * 16 * 16
+
+    def test_trace_accounts_residual_traffic(self, module):
+        profile = profile_model(_residual_workload(), seed=0)
+        compiled = compile_model(profile, variant="hybrid")
+        trace = TraceSimulator().run(compiled)
+        by_name = {layer.name: layer for layer in trace.layers}
+        assert by_name["conv2"].residual_feature_bytes == 16 * 16 * 16
+        assert by_name["stem"].residual_feature_bytes == 0
+        assert trace.residual_feature_bytes == 16 * 16 * 16
+
+    def test_resident_bytes_can_revoke_double_buffering(self):
+        """A feature buffer big enough for two tiles but not for the
+        resident branch forces single-buffering on the branch layers."""
+        profile = profile_model(_residual_workload(), seed=0)
+        # Two 48-byte tiles fit 4096; 4096 bytes of resident branch do not.
+        tiny = DBPIMConfig(buffers=BufferConfig(feature_buffer=4096))
+        module = lower_model(profile, config=tiny, variant="hybrid")
+        PassManager(default_passes(module)).run(module)
+        by_name = {node.layer.name: node for node in module.layers}
+        assert by_name["stem"].overlap.double_buffer_features
+        assert not by_name["conv1"].overlap.double_buffer_features
+        assert "resident" in by_name["conv1"].overlap.reason
+
+    def test_mismatched_profile_and_graph_rejected(self):
+        profile = profile_model(_residual_workload(), seed=0)
+        other = profile_model(get_workload("alexnet"), seed=0)
+        hybrid = type(profile)(
+            workload=_residual_workload(), layers=other.layers
+        )
+        with pytest.raises(CompilationError, match="linearized schedule"):
+            lower_model(hybrid, variant="hybrid")

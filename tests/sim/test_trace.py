@@ -128,6 +128,46 @@ class TestTraceInternals:
             TraceSimulator(simd_lanes=0)
 
 
+class TestGraphWorkloads:
+    """Graph-native workloads (residual CNNs + transformers) keep the
+    trace-vs-analytical contract and expose residual branch traffic."""
+
+    @pytest.fixture(scope="class")
+    def graph_profiles(self):
+        return {
+            model: profile_model(get_workload(model), seed=0)
+            for model in list_workloads(family="transformer")
+        }
+
+    def test_transformers_respect_trace_contract(self, graph_profiles):
+        cycle_model = CycleModel()
+        simulator = TraceSimulator()
+        for model, profile in graph_profiles.items():
+            analytical = cycle_model.run_all_variants(profile)
+            for variant in SPARSITY_VARIANTS:
+                compiled = compile_model(profile, variant=variant)
+                trace = simulator.run(compiled)
+                error = relative_cycle_error(trace, analytical[variant])
+                assert error <= TRACE_TOLERANCE, (
+                    f"{model}/{variant}: rel err {error:.3e}"
+                )
+
+    def test_residual_traffic_reported_for_joins(self, profiles):
+        compiled = compile_model(profiles["resnet18"], variant="hybrid")
+        trace = TraceSimulator().run(compiled)
+        assert trace.residual_feature_bytes > 0
+        by_name = {layer.name: layer for layer in trace.layers}
+        # The join fuses into the block's second conv; its epilogue streams
+        # the parked branch operand back through the feature path.
+        assert by_name["layer1.0.conv2"].residual_feature_bytes == 64 * 32 * 32
+        assert by_name["stem"].residual_feature_bytes == 0
+
+    def test_linear_workloads_have_no_residual_traffic(self, profiles):
+        compiled = compile_model(profiles["alexnet"], variant="hybrid")
+        trace = TraceSimulator().run(compiled)
+        assert trace.residual_feature_bytes == 0
+
+
 class TestCycleBreakdown:
     def test_merge_and_dict_round_trip(self):
         a = CycleBreakdown(compute=10.0, feature_load=4.0, hidden=2.0)

@@ -1,0 +1,224 @@
+"""Tests for the ModelGraph workload IR and the graph-built model zoo."""
+
+import pytest
+
+from repro.workloads.graph import (
+    GRAPH_INPUT,
+    GraphBuilder,
+    GraphNode,
+    GraphValidationError,
+    ModelGraph,
+    OpKind,
+)
+from repro.workloads.layers import LayerKind, LayerShape
+from repro.workloads.models import (
+    PAPER_MODELS,
+    TRANSFORMER_MODELS,
+    ModelWorkload,
+    get_workload,
+    list_workloads,
+    workload_family,
+)
+
+
+def _residual_graph():
+    g = GraphBuilder("tiny")
+    x = g.conv("stem", 3, 16, 3, 32)
+    c1 = g.conv("conv1", 16, 16, 3, 32, inputs=x)
+    c2 = g.conv("conv2", 16, 16, 3, 32, inputs=c1)
+    g.add("join", c2, x)
+    g.linear("fc", 16, 10, inputs="join")
+    return g.build()
+
+
+class TestGraphValidation:
+    def test_weighted_node_requires_layer(self):
+        with pytest.raises(GraphValidationError, match="LayerShape"):
+            GraphNode("c", OpKind.CONV, (GRAPH_INPUT,))
+
+    def test_layer_kind_must_match_op(self):
+        layer = LayerShape("c", LayerKind.LINEAR, 8, 8)
+        with pytest.raises(GraphValidationError, match="does not match"):
+            GraphNode("c", OpKind.CONV, (GRAPH_INPUT,), layer)
+
+    def test_simd_node_rejects_layer(self):
+        layer = LayerShape("c", LayerKind.LINEAR, 8, 8)
+        with pytest.raises(GraphValidationError, match="must not carry"):
+            GraphNode("a", OpKind.ADD, ("x", "y"), layer)
+
+    def test_add_needs_two_inputs(self):
+        with pytest.raises(GraphValidationError, match="at least two"):
+            GraphNode("a", OpKind.ADD, ("x",))
+
+    def test_softmax_takes_exactly_one_input(self):
+        with pytest.raises(GraphValidationError, match="exactly one"):
+            GraphNode("s", OpKind.SOFTMAX, ("x", "y"))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(GraphValidationError, match="unknown op"):
+            GraphNode("m", "maxpool", (GRAPH_INPUT,))
+
+    def test_forward_edge_rejected(self):
+        layer = LayerShape("a", LayerKind.LINEAR, 8, 8)
+        nodes = [GraphNode("a", OpKind.LINEAR, ("b",), layer)]
+        with pytest.raises(GraphValidationError, match="topological"):
+            ModelGraph("bad", nodes)
+
+    def test_duplicate_names_rejected(self):
+        layer = LayerShape("a", LayerKind.LINEAR, 8, 8)
+        nodes = [
+            GraphNode("a", OpKind.LINEAR, (GRAPH_INPUT,), layer),
+            GraphNode("a", OpKind.LINEAR, (GRAPH_INPUT,), layer),
+        ]
+        with pytest.raises(GraphValidationError, match="duplicate"):
+            ModelGraph("bad", nodes)
+
+    def test_reserved_input_name_rejected(self):
+        layer = LayerShape(GRAPH_INPUT, LayerKind.LINEAR, 8, 8)
+        nodes = [GraphNode(GRAPH_INPUT, OpKind.LINEAR, (GRAPH_INPUT,), layer)]
+        with pytest.raises(GraphValidationError, match="reserved"):
+            ModelGraph("bad", nodes)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphValidationError, match="no nodes"):
+            ModelGraph("empty", [])
+
+    def test_matmul_allows_two_inputs_conv_does_not(self):
+        layer = LayerShape("m", LayerKind.MATMUL, 8, 8, input_size=4)
+        GraphNode("m", OpKind.MATMUL, ("a", "b"), layer)  # ok
+        conv = LayerShape("c", LayerKind.CONV, 8, 8, 3, 1, 4, 1)
+        with pytest.raises(GraphValidationError, match="at most 1"):
+            GraphNode("c", OpKind.CONV, ("a", "b"), conv)
+
+
+class TestGraphStructure:
+    def test_topological_order_is_insertion_order(self):
+        graph = _residual_graph()
+        assert [n.name for n in graph.topological_order()] == [
+            "stem", "conv1", "conv2", "join", "fc",
+        ]
+
+    def test_linearize_keeps_weighted_schedule(self):
+        graph = _residual_graph()
+        assert [l.name for l in graph.linearize()] == [
+            "stem", "conv1", "conv2", "fc",
+        ]
+
+    def test_consumers_and_edges(self):
+        graph = _residual_graph()
+        assert [n.name for n in graph.consumers("stem")] == ["conv1", "join"]
+        assert ("conv2", "join") in graph.edges()
+        assert graph.node("join").is_join
+        assert [n.name for n in graph.join_nodes()] == ["join"]
+
+    def test_output_defaults_to_last_node(self):
+        assert _residual_graph().output == "fc"
+
+    def test_output_payloads(self):
+        graph = _residual_graph()
+        assert graph.output_payload("stem") == 16 * 32 * 32
+        assert graph.output_payload("join") == 16 * 32 * 32  # elementwise
+        assert graph.output_payload(GRAPH_INPUT) == 0
+        with pytest.raises(KeyError, match="unknown node"):
+            graph.output_payload("nope")
+
+    def test_concat_payload_sums_inputs(self):
+        g = GraphBuilder("cat")
+        a = g.conv("a", 3, 8, 3, 8)
+        b = g.conv("b", 3, 8, 3, 8, inputs=GRAPH_INPUT)
+        g.concat("cat", a, b)
+        graph = g.build()
+        assert graph.output_payload("cat") == 2 * 8 * 8 * 8
+
+
+class TestMatmulLayerShape:
+    def test_token_parallel_geometry(self):
+        layer = LayerShape("m", LayerKind.MATMUL, 128, 64, input_size=16)
+        assert layer.output_positions == 16  # tokens
+        assert layer.reduction_size == 128
+        assert layer.weight_count == 64 * 128
+        assert layer.macs == 16 * 64 * 128
+        assert layer.activation_count == 128 * 16
+        assert layer.output_size == 1
+
+
+class TestModelZoo:
+    def test_paper_family_is_default_listing(self):
+        assert list_workloads() == list(PAPER_MODELS)
+        assert list_workloads(family=None) == (
+            list(PAPER_MODELS) + list(TRANSFORMER_MODELS)
+        )
+        with pytest.raises(KeyError, match="family"):
+            list_workloads(family="quantum")
+
+    def test_family_lookup(self):
+        assert workload_family("resnet18") == "paper"
+        assert workload_family("vit_tiny") == "transformer"
+        with pytest.raises(KeyError):
+            workload_family("no-such-net")
+
+    @pytest.mark.parametrize("name", sorted(PAPER_MODELS) + sorted(TRANSFORMER_MODELS))
+    def test_every_workload_is_graph_built(self, name):
+        workload = get_workload(name)
+        assert workload.graph is not None
+        assert workload.layers == workload.graph.linearize()
+
+    def test_resnet18_downsample_shortcuts_restored(self):
+        layers = [l.name for l in get_workload("resnet18").layers]
+        for stage in ("layer2", "layer3", "layer4"):
+            assert f"{stage}.0.downsample" in layers
+        assert "layer1.0.downsample" not in layers  # identity shortcut
+        graph = get_workload("resnet18").graph
+        assert len(graph.join_nodes()) == 8  # two residual adds per stage
+
+    def test_mobilenetv2_downsample_shortcuts_restored(self):
+        workload = get_workload("mobilenetv2")
+        downsamples = [
+            l.name for l in workload.layers if l.name.endswith(".downsample")
+        ]
+        assert len(downsamples) == 3  # the three stride-2 stage entries
+        for name in downsamples:
+            layer = workload.graph.node(name).layer
+            assert layer.kernel_size == 1 and layer.stride == 2
+
+    def test_efficientnet_keeps_identity_residuals_only(self):
+        workload = get_workload("efficientnetb0")
+        assert not any(
+            l.name.endswith(".downsample") for l in workload.layers
+        )
+        # Identity residual adds still exist (stride-1, channel-preserving).
+        assert any(n.op == OpKind.ADD for n in workload.graph.simd_nodes())
+
+    def test_join_counts_produced_inputs_only(self):
+        g = GraphBuilder("double-input")
+        g.conv("c", 3, 8, 3, 8)
+        g.add("a", GRAPH_INPUT, GRAPH_INPUT)
+        graph = g.build(output="c")
+        assert not graph.node("a").is_join
+        # Two-operand matmuls are genuine branch merges.
+        vit = get_workload("vit_tiny").graph
+        assert vit.node("block0.scores").is_join
+
+    def test_transformer_blocks_branch_and_join(self):
+        graph = get_workload("vit_tiny").graph
+        block = [n for n in graph if n.name.startswith("block0.")]
+        ops = {n.name.split(".", 1)[1]: n for n in block}
+        # Q/K/V branch from the same input.
+        assert ops["q"].inputs == ops["k"].inputs == ops["v"].inputs
+        # Scores join Q and K; context joins the softmax and V.
+        assert ops["scores"].inputs == ("block0.q", "block0.k")
+        assert ops["context"].inputs == ("block0.softmax", "block0.v")
+        # Two residual adds per block.
+        assert ops["add_attn"].op == OpKind.ADD
+        assert ops["add_mlp"].op == OpKind.ADD
+
+    def test_workload_layers_must_match_graph(self):
+        graph = _residual_graph()
+        with pytest.raises(ValueError, match="linearize"):
+            ModelWorkload(
+                name="tiny",
+                layers=graph.linearize()[:-1],
+                redundancy=0.5,
+                activation_density=0.5,
+                graph=graph,
+            )
