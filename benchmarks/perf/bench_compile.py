@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -65,6 +66,7 @@ def run_benchmark(
         "benchmark": "compile",
         "version": __version__,
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
         "preset": preset,
         "variant": variant,
         "repeats": repeats,

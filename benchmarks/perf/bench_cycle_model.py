@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -72,6 +73,7 @@ def run_benchmark(
         "experiment": "fig7",
         "version": __version__,
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
         "models": list(models),
         "repeats": repeats,
         "presets": {},

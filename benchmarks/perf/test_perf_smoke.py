@@ -24,6 +24,7 @@ def _load(name: str):
 
 bench_cycle_model = _load("bench_cycle_model")
 bench_compile = _load("bench_compile")
+bench_sweep = _load("bench_sweep")
 
 
 def test_bench_emits_report(tmp_path):
@@ -99,4 +100,33 @@ def test_bench_compile_rejects_bad_repeats(tmp_path, capsys):
 
     with pytest.raises(SystemExit):
         bench_compile.main(["--repeats", "0"])
+    capsys.readouterr()
+
+
+def test_bench_sweep_emits_report(tmp_path):
+    output = tmp_path / "BENCH_sweep.json"
+    code = bench_sweep.main(
+        [
+            "--models", "alexnet",
+            "--executors", "serial", "process",
+            "--repeats", "1",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert report["benchmark"] == "sweep"
+    assert report["models"] == ["alexnet"]
+    assert report["cpu_count"] >= 1
+    for executor in ("serial", "process"):
+        assert report["executors"][executor]["cold_s"] > 0
+    assert report["warm_thread_s"] > 0
+    assert report["resume_byte_identical"] is True
+
+
+def test_bench_sweep_rejects_bad_repeats(tmp_path, capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        bench_sweep.main(["--repeats", "0"])
     capsys.readouterr()

@@ -21,6 +21,25 @@ from typing import Iterator, List, Tuple
 
 PACKAGES = ("repro.api", "repro.sim", "repro.compiler", "repro.workloads")
 
+#: Public symbols that must exist *and* be documented -- the load-bearing
+#: surface of the sweep service and the vectorized batch kernel.  Walking
+#: the packages above already checks whatever exists; this list turns a
+#: silent rename/removal of a contracted entry point into a CI failure.
+REQUIRED_SYMBOLS = (
+    "repro.api.sweep.ShardPlanner",
+    "repro.api.sweep.ShardPlan",
+    "repro.api.sweep.SweepShard",
+    "repro.api.sweep.SweepJournal",
+    "repro.api.sweep.SweepPointError",
+    "repro.api.sweep.run_shard",
+    "repro.api.sweep.run_sweep",
+    "repro.api.sweep.EXECUTORS",
+    "repro.api.results.SweepStats",
+    "repro.api.experiment.Experiment.run_sweep",
+    "repro.sim.vectorized.simulate_jobs",
+    "repro.sim.vectorized.concatenate_batches",
+)
+
 
 def _iter_modules(package_name: str) -> Iterator[object]:
     package = importlib.import_module(package_name)
@@ -72,9 +91,43 @@ def find_missing() -> List[str]:
     return missing
 
 
+def _resolve(qualified: str):
+    """Import the longest module prefix of ``qualified``, then getattr the
+    rest.  Returns the member, or ``None`` when anything is missing."""
+    parts = qualified.split(".")
+    for split in range(len(parts), 0, -1):
+        try:
+            member = importlib.import_module(".".join(parts[:split]))
+        except ImportError:
+            continue
+        for name in parts[split:]:
+            member = getattr(member, name, None)
+            if member is None:
+                return None
+        return member
+    return None
+
+
+def check_required() -> List[str]:
+    """Required symbols that are absent or undocumented (see
+    :data:`REQUIRED_SYMBOLS`)."""
+    problems: List[str] = []
+    for qualified in REQUIRED_SYMBOLS:
+        member = _resolve(qualified)
+        if member is None:
+            problems.append(f"{qualified} (missing)")
+        elif not isinstance(
+            member, (int, float, str, tuple, frozenset)
+        ) and not inspect.getdoc(member):
+            # Plain data constants carry their docs in module comments;
+            # everything callable/classy must have a docstring.
+            problems.append(f"{qualified} (undocumented)")
+    return problems
+
+
 def main() -> int:
     """Entry point; prints offenders and returns the exit code."""
-    missing = find_missing()
+    missing = find_missing() + check_required()
     if missing:
         print("undocumented public members:")
         for name in sorted(set(missing)):

@@ -15,11 +15,13 @@ of named frozen presets, the :class:`~repro.api.Experiment` /
 :class:`~repro.api.Session` object with uniform methods over the whole
 stack, a typed JSON-round-trippable result schema
 (:class:`~repro.api.ExperimentResult`, :class:`~repro.api.SweepResult`), a
-parallel cached sweep runner (:func:`~repro.api.run_sweep`) and the
-``repro`` console script.  The historical ``repro.eval.*`` driver functions
-remain as thin wrappers over the façade.  Future scaling work (batching,
-sharding, multi-backend dispatch) should build on :mod:`repro.api` rather
-than adding new bespoke entry points.
+sharded sweep service (:func:`~repro.api.run_sweep`: cache-state shard
+planning, process/thread/serial executor backends, on-disk result cache and
+a resumable JSONL run journal) and the ``repro`` console script.  The
+historical ``repro.eval.*`` driver functions remain as thin wrappers over
+the façade.  Future scaling work (batching, async serving, multi-backend
+dispatch) should build on :mod:`repro.api` rather than adding new bespoke
+entry points.
 
 Quickstart::
 
@@ -42,7 +44,7 @@ from .api import (
     run_sweep,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "api",

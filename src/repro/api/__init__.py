@@ -14,8 +14,11 @@ experiments programmatically:
 * :mod:`repro.api.results` -- the typed result schema
   (:class:`ExperimentResult`, :class:`SweepResult`) with lossless
   ``to_json()`` / ``from_json()`` round-trips;
-* :func:`run_sweep` -- a parallel sweep runner with an on-disk JSON result
-  cache keyed by configuration content hashes;
+* :func:`run_sweep` -- the sharded sweep service: a :class:`ShardPlanner`
+  partitioning grids by cache state, selectable ``process`` / ``thread`` /
+  ``serial`` executor backends, an on-disk JSON result cache keyed by
+  configuration content hashes, and a resumable append-only JSONL run
+  journal (:class:`SweepJournal`);
 * :mod:`repro.api.cli` -- the ``repro`` console script built on all of the
   above.
 
@@ -62,9 +65,23 @@ from .results import (
     SparsityBenefitRow,
     SparsitySupportRow,
     SweepResult,
+    SweepStats,
     WeightSparsityRow,
 )
-from .sweep import SweepPoint, build_grid, run_sweep
+from .sweep import (
+    DEFAULT_EXECUTOR,
+    EXECUTORS,
+    ShardPlan,
+    ShardPlanner,
+    SweepJournal,
+    SweepPoint,
+    SweepPointError,
+    SweepShard,
+    build_grid,
+    run_point,
+    run_shard,
+    run_sweep,
+)
 
 __all__ = [
     # configs
@@ -90,6 +107,7 @@ __all__ = [
     # results
     "ExperimentResult",
     "SweepResult",
+    "SweepStats",
     "WeightSparsityRow",
     "InputSparsityRow",
     "ProgramRow",
@@ -102,8 +120,17 @@ __all__ = [
     # formatting
     "format_result",
     "format_sweep",
-    # sweep
+    # sweep service
+    "EXECUTORS",
+    "DEFAULT_EXECUTOR",
     "SweepPoint",
+    "SweepShard",
+    "ShardPlan",
+    "ShardPlanner",
+    "SweepJournal",
+    "SweepPointError",
     "build_grid",
+    "run_point",
+    "run_shard",
     "run_sweep",
 ]

@@ -8,8 +8,14 @@ Three subcommands map the whole evaluation section onto the façade:
   ``repro run program --engine trace`` compiles whole-model programs and
   replays them on the trace simulator, cross-checked against the
   analytical model;
-* ``repro sweep --experiments fig7 --max-workers 4 --cache-dir .cache`` --
-  fan a grid out over workers with on-disk result caching.
+* ``repro sweep --experiments fig7 --executor process --shards 4
+  --cache-dir .cache --journal sweep.jsonl`` -- fan a grid out over the
+  sharded sweep service (process/thread/serial backends, on-disk result
+  caching, append-only JSONL run journal); re-invoking with ``--resume``
+  restores journaled points instead of recomputing them.
+
+Unknown experiment/workload/preset names exit with code 2 and a
+"did you mean" suggestion from the registry instead of a traceback.
 
 Installed as a console script via the packaging metadata; also runnable as
 ``python -m repro.api.cli``.
@@ -18,15 +24,21 @@ Installed as a console script via the packaging metadata; also runnable as
 from __future__ import annotations
 
 import argparse
+import difflib
 import json
 import sys
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, Iterable, Optional, Sequence
 
 from ..sim.cycle_model import DEFAULT_ENGINE, ENGINES
 from .configs import list_configs
-from .experiment import Experiment, get_experiment_spec, list_experiments
+from .experiment import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment_spec,
+    list_experiments,
+)
 from .formatting import format_result, format_sweep
-from .sweep import build_grid, run_sweep
+from .sweep import DEFAULT_EXECUTOR, EXECUTORS, run_sweep
 
 __all__ = ["CLIError", "TRACE_ENGINE", "build_parser", "main"]
 
@@ -50,6 +62,47 @@ def _validate(call, *args, **kwargs):
     except (KeyError, ValueError, TypeError) as error:
         message = error.args[0] if error.args else str(error)
         raise CLIError(message) from error
+
+
+def _check_name(kind: str, name: str, candidates: Iterable[str]) -> None:
+    """Reject an unknown registry name with a "did you mean" hint.
+
+    Exits through :class:`CLIError` (process code 2) instead of letting a
+    raw ``KeyError`` traceback escape; close registry entries are suggested
+    and the full candidate list is printed.
+    """
+    choices = list(candidates)
+    if name in choices:
+        return
+    close = difflib.get_close_matches(name, choices, n=3, cutoff=0.5)
+    hint = f" -- did you mean: {', '.join(close)}?" if close else ""
+    raise CLIError(
+        f"unknown {kind} {name!r}{hint} (available: {', '.join(choices)})"
+    )
+
+
+def _check_experiment(name: str) -> None:
+    """Validate an experiment id (case-insensitive, with suggestions)."""
+    _check_name("experiment", name.lower(), EXPERIMENTS)
+
+
+def _check_workloads(models: Optional[Sequence[str]]) -> None:
+    """Validate workload names (case-insensitive, with suggestions)."""
+    if models is None:
+        return
+    from ..workloads.models import list_workloads
+
+    known = list_workloads(family=None)
+    for model in models:
+        _check_name("workload", str(model).lower(), known)
+
+
+def _check_configs(configs: Optional[Sequence[str]]) -> None:
+    """Validate config preset names (with suggestions)."""
+    if configs is None:
+        return
+    for config in configs:
+        _check_name("config preset", config, list_configs())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -138,7 +191,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--max-workers", type=int, default=None,
-        help="worker threads (default: one per grid point, capped at CPUs)",
+        help="worker threads/processes (default: one per shard, capped at CPUs)",
+    )
+    sweep_parser.add_argument(
+        "--executor", choices=EXECUTORS, default=DEFAULT_EXECUTOR,
+        help="shard executor backend: 'process' for cold CPU-bound grids "
+        "(bypasses the GIL), 'thread' for warm-cache/I/O-bound re-runs, "
+        "'serial' for debugging; all three produce identical results",
+    )
+    sweep_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="target shard count (default: twice the worker count)",
+    )
+    sweep_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append-only JSONL run journal (one result per line, flushed "
+        "per shard); enables --resume",
+    )
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="restore finished points from --journal instead of recomputing "
+        "them (the completed sweep is identical to an uninterrupted run)",
     )
     sweep_parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -221,11 +294,15 @@ def _command_list(args: argparse.Namespace) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    spec = _validate(get_experiment_spec, args.experiment)
+    _check_experiment(args.experiment)
+    spec = get_experiment_spec(args.experiment)
+    if args.config is not None:
+        _check_configs([args.config])
     params: Dict[str, Any] = {}
     if args.models is not None:
         if not spec.takes_models:
             raise CLIError(f"experiment {spec.id!r} does not take --models")
+        _check_workloads(args.models)
         params["models"] = args.models
     for name, value in (("epochs", args.epochs), ("qat_epochs", args.qat_epochs)):
         if value is not None:
@@ -260,12 +337,17 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_sweep(args: argparse.Namespace) -> int:
     # Validate every grid axis eagerly, before any worker starts.
-    _validate(build_grid, experiments=args.experiments, configs=args.configs)
-    if args.models is not None:
-        from ..workloads.models import get_workload
-
-        for model in args.models:
-            _validate(get_workload, model)
+    if args.experiments is not None:
+        for experiment in args.experiments:
+            _check_experiment(experiment)
+    _check_configs(args.configs)
+    _check_workloads(args.models)
+    if args.resume and args.journal is None:
+        raise CLIError("--resume requires --journal PATH")
+    if args.shards is not None and args.shards <= 0:
+        raise CLIError("--shards must be positive")
+    if args.max_workers is not None and args.max_workers <= 0:
+        raise CLIError("--max-workers must be positive")
     sweep = run_sweep(
         experiments=args.experiments,
         models=args.models,
@@ -274,6 +356,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         cache_dir=args.cache_dir,
         engine=args.engine,
+        executor=args.executor,
+        shards=args.shards,
+        journal=args.journal,
+        resume=args.resume,
     )
     if not args.quiet:
         print(format_sweep(sweep))

@@ -892,6 +892,74 @@ class Experiment:
         )
 
 
+    # ------------------------------------------------------------------
+    # Sweep service front door (session-pinned)
+    # ------------------------------------------------------------------
+    def run_sweep(
+        self,
+        experiments: Optional[Sequence[str]] = None,
+        models: Optional[Sequence[str]] = None,
+        *,
+        max_workers: Optional[int] = None,
+        cache_dir: Optional[Any] = None,
+        params_by_experiment: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        executor: Optional[str] = None,
+        shards: Optional[int] = None,
+        journal: Optional[Any] = None,
+        resume: bool = False,
+    ):
+        """Run a sweep grid pinned to this session's config, seed and engine.
+
+        Delegates to :func:`repro.api.sweep.run_sweep` with
+        ``configs=(this session's preset,)``, ``seeds=(this session's
+        seed,)`` and this session's cycle-model engine, so the sharded
+        executor backends, the on-disk result cache and the resumable JSONL
+        journal are all available from a session object.  If the session
+        was built from an unregistered configuration instance, it is
+        registered under its content-derived ``custom-<digest>`` name first
+        so shard workers (including process workers, which receive the
+        configuration with the shard) can resolve it.
+
+        Args:
+            experiments: experiment ids (default: every non-training
+                experiment).
+            models: workload names for the model-parameterised experiments.
+            max_workers: worker threads/processes.
+            cache_dir: directory for the JSON result cache.
+            params_by_experiment: extra per-experiment parameters.
+            executor: ``"process"``, ``"thread"`` or ``"serial"`` (``None``
+                for :data:`repro.api.sweep.DEFAULT_EXECUTOR`; see
+                :func:`repro.api.sweep.run_sweep`).
+            shards: target shard count.
+            journal: path of the append-only ``sweep.jsonl`` run journal.
+            resume: restore finished points from ``journal``.
+
+        Returns:
+            The :class:`~repro.api.results.SweepResult` of the grid.
+        """
+        from .configs import list_configs, register_config
+        from .sweep import DEFAULT_EXECUTOR, run_sweep as _run_sweep
+
+        if executor is None:
+            executor = DEFAULT_EXECUTOR
+        if self.config_name not in list_configs():
+            register_config(self.config_name, self.config)
+        return _run_sweep(
+            experiments=experiments,
+            models=models,
+            configs=(self.config_name,),
+            seeds=(self.seed,),
+            max_workers=max_workers,
+            cache_dir=cache_dir,
+            params_by_experiment=params_by_experiment,
+            engine=self.engine,
+            executor=executor,
+            shards=shards,
+            journal=journal,
+            resume=resume,
+        )
+
+
 #: An :class:`Experiment` is stateful (profile/dataset caches) and scoped to
 #: one (config, seed) pair -- "session" is the name that emphasises reuse
 #: across many experiment calls.

@@ -237,4 +237,11 @@ def format_sweep(sweep: SweepResult) -> str:
         f"{len(sweep.results)} result(s); cache: {sweep.cache_hits} hit(s), "
         f"{sweep.cache_misses} miss(es)"
     )
+    if sweep.stats is not None:
+        stats = sweep.stats
+        summary += (
+            f"; executor={stats.executor} x{stats.max_workers}, "
+            f"{stats.shards} shard(s), {stats.journaled_points} journaled, "
+            f"{stats.elapsed_s:.2f}s"
+        )
     return "\n\n".join(sections + [summary])

@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -41,6 +43,7 @@ __all__ = [
     "row_to_dict",
     "row_from_dict",
     "ExperimentResult",
+    "SweepStats",
     "SweepResult",
 ]
 
@@ -316,11 +319,28 @@ class _JsonEnvelope:
         return cls.from_dict(json.loads(text))
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the envelope to ``path`` as JSON (atomic rename)."""
+        """Write the envelope to ``path`` as JSON, atomically.
+
+        The payload is written to a uniquely named temporary file in the
+        destination directory and moved into place with ``os.replace``, so
+        a reader can never observe a truncated file and concurrent writers
+        (parallel sweep workers sharing one cache directory) can never
+        interleave into a corrupt entry -- the last complete write wins.
+        """
         path = Path(path)
-        temporary = path.with_suffix(path.suffix + ".tmp")
-        temporary.write_text(self.to_json(), encoding="utf-8")
-        temporary.replace(path)
+        handle, temporary = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(self.to_json())
+            os.replace(temporary, path)
+        except BaseException:
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+            raise
         return path
 
     @classmethod
@@ -403,14 +423,56 @@ class ExperimentResult(_JsonEnvelope):
         )
 
 
+@dataclass(frozen=True)
+class SweepStats:
+    """Execution statistics of one sweep invocation.
+
+    Attached to :attr:`SweepResult.stats` by the sweep service for
+    observability, but deliberately **excluded** from the serialised
+    payload (and from equality): wall time and shard layout depend on the
+    machine, the cache state and how a previous run was interrupted, while
+    the canonical :class:`SweepResult` payload of a resumed sweep must stay
+    byte-identical to an uninterrupted run.
+
+    Attributes:
+        executor: backend that ran the shards (``"serial"``, ``"thread"``
+            or ``"process"``).
+        max_workers: worker count of the executor pool.
+        shards: shards the planner produced for this invocation.
+        warm_points: points planned as on-disk cache loads.
+        cold_points: points planned as simulator executions.
+        journaled_points: points restored from the run journal (resume).
+        elapsed_s: wall time of the whole sweep, in seconds.
+    """
+
+    executor: str
+    max_workers: int = 1
+    shards: int = 0
+    warm_points: int = 0
+    cold_points: int = 0
+    journaled_points: int = 0
+    elapsed_s: float = 0.0
+
+
 @dataclass(frozen=True, eq=True)
 class SweepResult(_JsonEnvelope):
-    """The outcome of one sweep: per-point results plus cache statistics."""
+    """The outcome of one sweep: per-point results plus cache statistics.
+
+    Attributes:
+        results: per-point experiment results, in grid order.
+        cache_hits: points deserialised from the on-disk cache.
+        cache_misses: points that executed the simulator.
+        schema_version: serialisation schema version stamp.
+        stats: executor/shard/timing statistics of the invocation that
+            produced this result (see :class:`SweepStats`); ``None`` on
+            results rebuilt from JSON.  Not serialised and not compared.
+    """
 
     results: Tuple[ExperimentResult, ...]
     cache_hits: int = 0
     cache_misses: int = 0
     schema_version: int = SCHEMA_VERSION
+    stats: Optional[SweepStats] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "results", tuple(self.results))

@@ -1,27 +1,50 @@
-"""Parallel, cached sweep runner over (experiment x model x config) grids.
+"""Sharded, process-parallel sweep service with resumable JSONL journaling.
 
 Regenerating the paper's whole evaluation section -- or a design-space grid
-of it -- is a fan-out of independent experiment points, so this module turns
-it into exactly that:
+of it -- is a fan-out of independent experiment points.  This module turns
+that fan-out into a small *service*:
 
 * :func:`build_grid` expands (experiments x models x configs x seeds) into
   :class:`SweepPoint` s, splitting the model-parameterised experiments into
   one point per model so the fan-out is maximally parallel;
-* :func:`run_sweep` executes the grid over ``concurrent.futures`` workers
-  (a thread pool: numpy releases the GIL in the hot kernels, points are
-  I/O-bound on a warm cache, and threads keep user-registered config
-  presets visible; process-based execution is a future scaling step) with
-  an on-disk JSON result cache keyed by a content hash of the point
-  (experiment id, canonical parameters, seed, schema version, package
-  version and the full hardware/FTA configuration digest).  A warm-cache
-  re-run deserialises every point without re-executing any simulation.
+* :class:`ShardPlanner` partitions the grid into :class:`SweepShard` s keyed
+  by **cache state**: points whose on-disk cache entry already exists land
+  in cheap warm (I/O-bound) shards, cold points are grouped by
+  (config, seed, engine) -- so one worker session amortises configuration
+  construction and profile caching across a whole shard -- and chunked to
+  the requested shard count;
+* :func:`run_shard` executes one shard: cached points are deserialised,
+  cold single-model points of the same experiment are merged into **one
+  batched** ``Experiment.run`` call that rides the vectorized engine's
+  :func:`repro.sim.vectorized.simulate_jobs` shard-sized kernel, and the
+  per-point results are split back out (bitwise identical to point-at-a-time
+  execution -- the vectorized kernel is elementwise per layer);
+* :func:`run_sweep` dispatches the shards over a selectable executor
+  backend -- ``"process"`` (:class:`~concurrent.futures.ProcessPoolExecutor`,
+  the fast path for cold CPU-bound sweeps: the cycle model holds the GIL in
+  pure-Python mapping code, so threads serialise), ``"thread"`` (warm-cache
+  / I/O-bound sweeps; keeps user-registered presets visible without
+  shipping them) or ``"serial"`` -- and, when a ``journal`` path is given,
+  streams every finished shard to an append-only ``sweep.jsonl``
+  (:class:`SweepJournal`).  An interrupted sweep re-invoked with
+  ``resume=True`` restores journaled points without recomputing them and
+  reproduces the uninterrupted run's ``results`` byte-for-byte (the whole
+  serialised :class:`~repro.api.results.SweepResult` when journaling
+  without a pre-populated cache; the hit/miss counters report the work
+  each invocation actually performed).
+
+The on-disk point cache is keyed by a content hash of the point (experiment
+id, canonical parameters, seed, engine, schema/package versions and the full
+hardware configuration digest); entries are written atomically (unique temp
+file + ``os.replace``) and unreadable entries are treated as misses with a
+warning instead of poisoning later runs.
 
 Example::
 
     from repro.api import run_sweep
 
-    sweep = run_sweep(experiments=("fig7",), max_workers=4,
-                      cache_dir=".repro-cache")
+    sweep = run_sweep(experiments=("fig7",), executor="process",
+                      cache_dir=".repro-cache", journal="sweep.jsonl")
     for result in sweep.filter("fig7"):
         print(result.params["models"], result.rows[0].speedup["hybrid"])
 """
@@ -31,21 +54,51 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from concurrent.futures import ThreadPoolExecutor
+import time
+import warnings
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from ..arch.config import DBPIMConfig
 from ..sim.cycle_model import DEFAULT_ENGINE, ENGINES
-from .configs import config_digest, get_config
-from .experiment import Experiment, get_experiment_spec
-from .results import SCHEMA_VERSION, ExperimentResult, SweepResult, _jsonify
+from .configs import config_digest, get_config, register_config
+from .experiment import EXPERIMENTS, Experiment, get_experiment_spec
+from .results import (
+    SCHEMA_VERSION,
+    ExperimentResult,
+    SweepResult,
+    SweepStats,
+    _jsonify,
+)
 
 __all__ = [
     "DEFAULT_SWEEP_EXPERIMENTS",
+    "EXECUTORS",
+    "DEFAULT_EXECUTOR",
     "SweepPoint",
+    "SweepShard",
+    "ShardPlan",
+    "ShardPlanner",
+    "SweepJournal",
+    "SweepPointError",
     "build_grid",
     "run_point",
+    "run_shard",
     "run_sweep",
 ]
 
@@ -61,6 +114,15 @@ DEFAULT_SWEEP_EXPERIMENTS = (
     "program",
     "graph",
 )
+
+#: Selectable sweep executor backends (see :func:`run_sweep`).
+EXECUTORS = ("serial", "thread", "process")
+
+#: Executor used when none is requested.  ``"thread"`` is the conservative
+#: default (warm caches deserialise I/O-bound, user-registered presets stay
+#: visible without shipping); pass ``executor="process"`` for cold
+#: CPU-bound grids on multi-core machines.
+DEFAULT_EXECUTOR = "thread"
 
 
 @dataclass(frozen=True)
@@ -89,6 +151,13 @@ class SweepPoint:
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}"
             )
 
+    def describe(self) -> str:
+        """One-line human identification of the point (used by errors)."""
+        return (
+            f"experiment={self.experiment!r} config={self.config!r} "
+            f"seed={self.seed} engine={self.engine!r} params={self.params!r}"
+        )
+
     def cache_key(self) -> str:
         """Content hash identifying this point's result in the cache.
 
@@ -114,6 +183,25 @@ class SweepPoint:
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class SweepPointError(RuntimeError):
+    """One grid point failed; carries the offending :class:`SweepPoint`.
+
+    Raised by :func:`run_shard` / :func:`run_sweep` instead of letting an
+    anonymous worker traceback surface after the whole grid drains: the
+    message identifies the failing (experiment, config, seed, engine,
+    params) cell and chains the original exception, and outstanding shard
+    futures are cancelled.
+    """
+
+    def __init__(self, message: str, point: Optional[SweepPoint] = None) -> None:
+        super().__init__(message)
+        self.point = point
+
+    def __reduce__(self):
+        """Preserve the ``point`` attribute across process boundaries."""
+        return (type(self), (self.args[0], self.point))
 
 
 def build_grid(
@@ -209,6 +297,53 @@ def _get_workload(name: str):
     return get_workload(name)
 
 
+# ---------------------------------------------------------------------------
+# Point cache (atomic writes, corruption-tolerant reads)
+# ---------------------------------------------------------------------------
+def _cache_path(point: SweepPoint, cache_dir: Union[str, Path]) -> Path:
+    """On-disk location of one point's cached result."""
+    return Path(cache_dir) / f"{point.cache_key()}.json"
+
+
+def _load_cached(
+    point: SweepPoint, cache_dir: Optional[Union[str, Path]]
+) -> Optional[ExperimentResult]:
+    """Deserialise a point's cached result, or ``None`` on a miss.
+
+    A truncated or otherwise unreadable entry must never brick the sweep:
+    it is reported with a :class:`RuntimeWarning` and treated as a miss, so
+    the point is recomputed and the entry atomically overwritten.
+    """
+    if cache_dir is None:
+        return None
+    path = _cache_path(point, cache_dir)
+    if not path.exists():
+        return None
+    try:
+        return ExperimentResult.load(path)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        warnings.warn(
+            f"ignoring unreadable sweep-cache entry {path} "
+            f"({type(error).__name__}: {error}); recomputing the point",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+
+
+def _store_cached(
+    point: SweepPoint,
+    result: ExperimentResult,
+    cache_dir: Optional[Union[str, Path]],
+) -> None:
+    """Write a point's result to the cache (atomic temp-file + replace)."""
+    if cache_dir is None:
+        return
+    path = _cache_path(point, cache_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    result.save(path)
+
+
 def run_point(
     point: SweepPoint, cache_dir: Optional[Union[str, Path]] = None
 ) -> Tuple[ExperimentResult, bool]:
@@ -218,26 +353,467 @@ def run_point(
         ``(result, cache_hit)`` -- ``cache_hit`` is True when the result was
         deserialised from the on-disk cache without running any simulation.
     """
-    cache_path: Optional[Path] = None
-    if cache_dir is not None:
-        cache_path = Path(cache_dir) / f"{point.cache_key()}.json"
-        if cache_path.exists():
-            try:
-                return ExperimentResult.load(cache_path), True
-            except (OSError, ValueError, KeyError, TypeError):
-                # A truncated/corrupted entry must not brick the sweep:
-                # treat it as a miss and overwrite it below.
-                pass
+    cached = _load_cached(point, cache_dir)
+    if cached is not None:
+        return cached, True
     session = Experiment(
         config=point.config, seed=point.seed, engine=point.engine
     )
     result = session.run(point.experiment, **point.params)
-    if cache_path is not None:
-        cache_path.parent.mkdir(parents=True, exist_ok=True)
-        result.save(cache_path)
+    _store_cached(point, result, cache_dir)
     return result, False
 
 
+# ---------------------------------------------------------------------------
+# Shard planning
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepShard:
+    """A contiguous batch of grid points executed by one worker.
+
+    Attributes:
+        index: shard sequence number (stable across identical plans).
+        indices: positions of the shard's points in the original grid.
+        points: the grid points, in grid order.
+        warm: True when every point had an on-disk cache entry at planning
+            time (the shard is expected to be I/O-bound deserialisation).
+        configs: the resolved ``(preset name, configuration)`` pairs of the
+            shard's points.  Shipped with the shard so a process worker --
+            whose fresh interpreter only knows the built-in presets -- can
+            register user-defined presets before executing.
+    """
+
+    index: int
+    indices: Tuple[int, ...]
+    points: Tuple[SweepPoint, ...]
+    warm: bool = False
+    configs: Tuple[Tuple[str, DBPIMConfig], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The output of :meth:`ShardPlanner.plan`.
+
+    Attributes:
+        shards: the shards to execute, in planning order.
+        journaled: grid indices whose results were restored from the run
+            journal (excluded from every shard).
+        cache_keys: the content hash of every grid point, in grid order
+            (computed once here so execution and journaling reuse them).
+    """
+
+    shards: Tuple[SweepShard, ...]
+    journaled: Tuple[int, ...]
+    cache_keys: Tuple[str, ...]
+
+    @property
+    def cold_points(self) -> int:
+        """Points that will run the simulator (no cache entry at plan time)."""
+        return sum(len(s) for s in self.shards if not s.warm)
+
+    @property
+    def warm_points(self) -> int:
+        """Points expected to deserialise from the on-disk cache."""
+        return sum(len(s) for s in self.shards if s.warm)
+
+
+class ShardPlanner:
+    """Partition a sweep grid into executable shards keyed by cache state.
+
+    The planner is deterministic: the same grid, cache state and journal
+    state always produce an identical :class:`ShardPlan` (pinned by the
+    service tests), which is what makes interrupted sweeps resumable.
+
+    Points are partitioned in three steps:
+
+    1. points already present in the run journal are set aside (their
+       results are restored without touching a worker);
+    2. the remainder is split by cache state -- *warm* points (cache entry
+       exists) are grouped separately from *cold* points, so a mostly-warm
+       re-run does not occupy process workers with deserialisation;
+    3. within each temperature, points are grouped by
+       ``(config, seed, engine)`` -- one worker :class:`Experiment` session
+       per group amortises configuration construction and the workload
+       profile cache -- and each group is chunked into shards of roughly
+       ``total / shards`` points, preserving grid order.
+
+    Args:
+        cache_dir: the sweep's on-disk result cache (``None`` disables the
+            warm/cold split; every point plans as cold).
+        shards: target shard count per temperature (default: twice the
+            worker count, so the pool stays busy while shards finish at
+            different speeds).
+        max_workers: the worker count the sweep will run with (used only to
+            derive the default shard count).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        shards: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if shards is not None and shards <= 0:
+            raise ValueError("shards must be positive")
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.shards = shards
+        self.max_workers = max_workers
+
+    def _target_shards(self) -> int:
+        """The shard count used when none was requested explicitly."""
+        if self.shards is not None:
+            return self.shards
+        workers = self.max_workers or os.cpu_count() or 1
+        return max(1, workers * 2)
+
+    def plan(
+        self,
+        grid: Sequence[SweepPoint],
+        journaled_keys: Optional[Sequence[str]] = None,
+    ) -> ShardPlan:
+        """Partition ``grid`` into shards.
+
+        Args:
+            grid: the sweep points, in grid order (see :func:`build_grid`).
+            journaled_keys: cache keys already present in the run journal;
+                matching points are excluded from every shard and reported
+                via :attr:`ShardPlan.journaled`.
+        """
+        keys = tuple(point.cache_key() for point in grid)
+        known = frozenset(journaled_keys or ())
+        journaled: List[int] = []
+        # (warm, config, seed, engine) -> [(grid index, point)]
+        groups: Dict[Tuple[bool, str, int, str], List[Tuple[int, SweepPoint]]] = {}
+        totals = {True: 0, False: 0}
+        for index, (point, key) in enumerate(zip(grid, keys)):
+            if key in known:
+                journaled.append(index)
+                continue
+            warm = (
+                self.cache_dir is not None
+                and (self.cache_dir / f"{key}.json").exists()
+            )
+            group_key = (warm, point.config, point.seed, point.engine)
+            groups.setdefault(group_key, []).append((index, point))
+            totals[warm] += 1
+
+        target = self._target_shards()
+        chunk_sizes = {
+            warm: max(1, -(-total // target)) for warm, total in totals.items()
+        }
+        shards: List[SweepShard] = []
+        for (warm, config, _seed, _engine), members in groups.items():
+            size = chunk_sizes[warm]
+            resolved = ((config, get_config(config)),)
+            for start in range(0, len(members), size):
+                chunk = members[start : start + size]
+                shards.append(
+                    SweepShard(
+                        index=len(shards),
+                        indices=tuple(i for i, _ in chunk),
+                        points=tuple(p for _, p in chunk),
+                        warm=warm,
+                        configs=resolved,
+                    )
+                )
+        return ShardPlan(
+            shards=tuple(shards),
+            journaled=tuple(journaled),
+            cache_keys=keys,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shard execution (runs inside worker threads / processes)
+# ---------------------------------------------------------------------------
+#: Experiments whose single-model points may be merged into one batched
+#: ``Experiment.run`` call inside a shard: per-model rows are computed
+#: independently (and, on the vectorized engine, elementwise per layer), so
+#: the merged run is bitwise identical to point-at-a-time execution.  The
+#: training-based experiments are excluded defensively.
+_MERGEABLE_EXPERIMENTS = frozenset(
+    spec.id
+    for spec in EXPERIMENTS.values()
+    if spec.takes_models and not spec.aggregates_models and not spec.heavy
+)
+
+
+def _session_key(point: SweepPoint) -> Tuple[str, int, str]:
+    """The (config, seed, engine) triple one worker session is built from."""
+    return (point.config, point.seed, point.engine)
+
+
+def _merge_key(point: SweepPoint) -> Optional[Tuple[str, str]]:
+    """Batch-merge bucket of a point, or ``None`` when not mergeable.
+
+    Mergeable points are single-model points of a mergeable experiment;
+    the bucket key includes every non-model parameter so only runs with
+    identical extra parameters are batched together.
+    """
+    if point.experiment not in _MERGEABLE_EXPERIMENTS:
+        return None
+    models = point.params.get("models")
+    if not isinstance(models, list) or len(models) != 1:
+        return None
+    rest = {k: v for k, v in point.params.items() if k != "models"}
+    canonical = json.dumps(rest, sort_keys=True, separators=(",", ":"))
+    return (point.experiment, canonical)
+
+
+def _run_single(
+    session: Experiment,
+    index: int,
+    point: SweepPoint,
+    cache_dir: Optional[Union[str, Path]],
+) -> Tuple[int, ExperimentResult, bool]:
+    """Execute one cold point on an existing session, wrapping failures."""
+    try:
+        result = session.run(point.experiment, **point.params)
+    except Exception as error:
+        raise SweepPointError(
+            f"sweep point failed: {point.describe()}: "
+            f"{type(error).__name__}: {error}",
+            point,
+        ) from error
+    _store_cached(point, result, cache_dir)
+    return (index, result, False)
+
+
+def _run_merged(
+    session: Experiment,
+    members: Sequence[Tuple[int, SweepPoint]],
+    cache_dir: Optional[Union[str, Path]],
+) -> List[Tuple[int, ExperimentResult, bool]]:
+    """Execute a bucket of mergeable single-model points as one batch.
+
+    The models are concatenated into one ``Experiment.run`` call (one
+    vectorized cycle-model pass for the whole bucket) and the returned rows
+    are split back into per-point results identical to individual runs.
+    Any failure falls back to point-at-a-time execution so the offending
+    point is identified precisely.
+    """
+    first = members[0][1]
+    models = [point.params["models"][0] for _, point in members]
+    try:
+        merged_params = dict(first.params)
+        merged_params["models"] = models
+        combined = session.run(first.experiment, **merged_params)
+        if len(combined.rows) != len(members):
+            raise ValueError(
+                f"merged run returned {len(combined.rows)} rows for "
+                f"{len(members)} points"
+            )
+    except Exception:
+        # Localise the failure (and keep healthy points progressing).
+        return [
+            _run_single(session, index, point, cache_dir)
+            for index, point in members
+        ]
+    outcomes: List[Tuple[int, ExperimentResult, bool]] = []
+    for (index, point), row in zip(members, combined.rows):
+        params = dict(combined.params)
+        params["models"] = list(point.params["models"])
+        result = ExperimentResult(
+            experiment=combined.experiment,
+            rows=(row,),
+            params=params,
+            seed=combined.seed,
+            config=combined.config,
+        )
+        _store_cached(point, result, cache_dir)
+        outcomes.append((index, result, False))
+    return outcomes
+
+
+def run_shard(
+    shard: SweepShard, cache_dir: Optional[Union[str, Path]] = None
+) -> List[Tuple[int, ExperimentResult, bool]]:
+    """Execute one shard in the current process.
+
+    This is the worker entry point of every executor backend (it is a
+    module-level function so :class:`~concurrent.futures.ProcessPoolExecutor`
+    can pickle it).  Cached points are deserialised first; the remaining
+    cold points are grouped by (config, seed, engine) onto one
+    :class:`~repro.api.experiment.Experiment` session each -- amortising
+    configuration construction and the workload profile cache -- and
+    mergeable single-model points ride one batched vectorized call per
+    experiment (see :func:`repro.sim.vectorized.simulate_jobs`).
+
+    Args:
+        shard: the shard to execute (see :class:`ShardPlanner`).
+        cache_dir: the sweep's on-disk result cache (``None`` disables it).
+
+    Returns:
+        ``(grid index, result, cache_hit)`` triples, sorted by grid index.
+
+    Raises:
+        SweepPointError: when a point fails; identifies the offending point.
+    """
+    for name, config in shard.configs:
+        try:
+            known = get_config(name)
+        except KeyError:
+            known = None
+        if known != config:
+            # A fresh worker interpreter only knows the built-in presets;
+            # materialise the parent's registration (including presets the
+            # parent overrode, which a spawn-started worker would otherwise
+            # silently resolve to the built-in contents).
+            register_config(name, config, overwrite=True)
+    outcomes: List[Tuple[int, ExperimentResult, bool]] = []
+    pending: List[Tuple[int, SweepPoint]] = []
+    for index, point in zip(shard.indices, shard.points):
+        cached = _load_cached(point, cache_dir)
+        if cached is not None:
+            outcomes.append((index, cached, True))
+        else:
+            pending.append((index, point))
+
+    sessions: Dict[Tuple[str, int, str], List[Tuple[int, SweepPoint]]] = {}
+    for index, point in pending:
+        sessions.setdefault(_session_key(point), []).append((index, point))
+    for (config, seed, engine), members in sessions.items():
+        session = Experiment(config=config, seed=seed, engine=engine)
+        buckets: Dict[Optional[Tuple[str, str]], List[Tuple[int, SweepPoint]]] = {}
+        for index, point in members:
+            buckets.setdefault(_merge_key(point), []).append((index, point))
+        for merge_key, bucket in buckets.items():
+            if merge_key is not None and len(bucket) > 1:
+                outcomes.extend(_run_merged(session, bucket, cache_dir))
+            else:
+                for index, point in bucket:
+                    outcomes.append(
+                        _run_single(session, index, point, cache_dir)
+                    )
+    outcomes.sort(key=lambda outcome: outcome[0])
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Run journal (append-only JSONL, flushed per shard)
+# ---------------------------------------------------------------------------
+class SweepJournal:
+    """Append-only JSONL journal making sweeps resumable.
+
+    The journal is a plain-text ``sweep.jsonl``: a header line followed by
+    one JSON object per finished grid point, appended (and flushed +
+    fsynced) per completed *shard*.  Each point line carries::
+
+        {"kind": "point", "schema_version": 1, "cache_key": "...",
+         "experiment": "...", "config": "...", "seed": 0,
+         "engine": "...", "params": {...}, "cache_hit": false,
+         "result": {... ExperimentResult.to_dict() ...}}
+
+    Points are keyed by their content-hash cache key, so a journal can only
+    ever resume points whose experiment, parameters, seed, engine,
+    configuration contents and package version all match -- a grid change
+    simply journals the new points alongside the stale ones.  Unreadable
+    lines (e.g. the torn tail of a killed run) are skipped with a warning.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def load(self) -> Dict[str, Tuple[ExperimentResult, bool]]:
+        """Read the journal into ``{cache_key: (result, cache_hit)}``.
+
+        Missing files load as empty; malformed or torn lines are skipped
+        with a :class:`RuntimeWarning`.  Later entries for the same key win
+        (harmless: identical keys imply identical results).
+        """
+        entries: Dict[str, Tuple[ExperimentResult, bool]] = {}
+        if not self.path.exists():
+            return entries
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    warnings.warn(
+                        f"skipping unreadable journal line {number} of "
+                        f"{self.path} (torn write?)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                if payload.get("kind") != "point":
+                    continue
+                try:
+                    result = ExperimentResult.from_dict(payload["result"])
+                    key = payload["cache_key"]
+                except (KeyError, TypeError, ValueError) as error:
+                    warnings.warn(
+                        f"skipping invalid journal entry at line {number} of "
+                        f"{self.path} ({type(error).__name__}: {error})",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                entries[str(key)] = (result, bool(payload.get("cache_hit")))
+        return entries
+
+    def start(self, resume: bool = False) -> None:
+        """Begin a journaled run: truncate (fresh run) or touch (resume)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and self.path.exists():
+            return
+        from .. import __version__
+
+        header = {
+            "kind": "header",
+            "journal": "repro.api.sweep",
+            "schema_version": SCHEMA_VERSION,
+            "version": __version__,
+        }
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(
+        self,
+        entries: Sequence[Tuple[SweepPoint, str, ExperimentResult, bool]],
+    ) -> None:
+        """Append one shard's ``(point, cache_key, result, hit)`` outcomes.
+
+        All lines of the shard are written in one call, then flushed and
+        fsynced, so a kill can only ever tear the final line -- which
+        :meth:`load` skips -- never a finished shard.
+        """
+        if not entries:
+            return
+        lines = []
+        for point, key, result, hit in entries:
+            payload = {
+                "kind": "point",
+                "schema_version": SCHEMA_VERSION,
+                "cache_key": key,
+                "experiment": point.experiment,
+                "config": point.config,
+                "seed": point.seed,
+                "engine": point.engine,
+                "params": point.params,
+                "cache_hit": bool(hit),
+                "result": result.to_dict(),
+            }
+            lines.append(json.dumps(payload, sort_keys=True) + "\n")
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write("".join(lines))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+# ---------------------------------------------------------------------------
+# The sweep service front door
+# ---------------------------------------------------------------------------
 def run_sweep(
     experiments: Optional[Sequence[str]] = None,
     models: Optional[Sequence[str]] = None,
@@ -247,26 +823,67 @@ def run_sweep(
     cache_dir: Optional[Union[str, Path]] = None,
     params_by_experiment: Optional[Mapping[str, Mapping[str, Any]]] = None,
     engine: str = DEFAULT_ENGINE,
+    executor: str = DEFAULT_EXECUTOR,
+    shards: Optional[int] = None,
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> SweepResult:
-    """Run a grid of experiment points in parallel, with result caching.
+    """Run a grid of experiment points as a sharded, journaled sweep.
+
+    The grid is expanded by :func:`build_grid`, partitioned into shards by
+    :class:`ShardPlanner` (journal-restored points excluded, warm and cold
+    points separated, cold points grouped per worker session) and executed
+    by the selected backend; each finished shard is streamed to the JSONL
+    run journal, so killing the sweep loses at most the in-flight shards.
 
     Args:
         experiments: experiment ids (default: every non-training experiment).
         models: workload names for the model-parameterised experiments.
         configs: registered configuration preset names.
         seeds: RNG seeds.
-        max_workers: worker threads (default: one per point, capped at the
-            CPU count; 1 forces sequential execution).
+        max_workers: worker threads/processes (default: one per shard,
+            capped at the CPU count; ``1`` forces in-process execution for
+            the ``thread`` backend).
         cache_dir: directory for the JSON result cache (``None`` disables
             caching).
         params_by_experiment: extra per-experiment parameters.
         engine: cycle-model engine evaluating every point (``"vectorized"``
             by default; part of each point's cache key).
+        executor: ``"process"`` (:class:`ProcessPoolExecutor`; the fast
+            path for cold CPU-bound grids -- the mapping equations hold the
+            GIL, so threads serialise), ``"thread"`` (warm-cache / I/O-bound
+            re-runs) or ``"serial"`` (in-process, for debugging).  All three
+            produce identical results.
+        shards: target shard count (default: twice the worker count).
+        journal: path of the append-only ``sweep.jsonl`` run journal
+            (``None`` disables journaling).
+        resume: restore finished points from ``journal`` instead of
+            recomputing them.  Requires ``journal``.  The completed sweep's
+            ``results`` are always byte-identical to an uninterrupted run;
+            when journaling without a pre-populated ``cache_dir`` the whole
+            serialised payload is byte-identical.  (The cache hit/miss
+            counters always report the work *this* invocation performed, so
+            a point the killed run cached but did not journal legitimately
+            counts as a hit on resume.)
 
     Returns:
-        A :class:`SweepResult` with the per-point results in grid order and
-        the cache hit/miss counts.
+        A :class:`SweepResult` with the per-point results in grid order,
+        cache hit/miss counts, and (non-serialised) executor/shard/timing
+        statistics in :attr:`~repro.api.results.SweepResult.stats`.
+
+    Raises:
+        ValueError: on an unknown executor, or ``resume`` without a journal.
+        SweepPointError: when a grid point fails (identifies the point).
     """
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal path")
+    if max_workers is not None and max_workers <= 0:
+        raise ValueError("max_workers must be positive")
+    started = time.perf_counter()
     grid = build_grid(
         experiments=experiments,
         models=models,
@@ -275,18 +892,78 @@ def run_sweep(
         params_by_experiment=params_by_experiment,
         engine=engine,
     )
-    if max_workers is None:
-        max_workers = max(1, min(len(grid), os.cpu_count() or 1))
-    if max_workers <= 1 or len(grid) <= 1:
-        outcomes = [run_point(point, cache_dir) for point in grid]
+    run_journal = SweepJournal(journal) if journal is not None else None
+    restored: Dict[str, Tuple[ExperimentResult, bool]] = {}
+    if run_journal is not None and resume:
+        restored = run_journal.load()
+    planner = ShardPlanner(
+        cache_dir=cache_dir, shards=shards, max_workers=max_workers
+    )
+    plan = planner.plan(grid, journaled_keys=restored.keys())
+
+    outcomes: List[Optional[Tuple[ExperimentResult, bool]]] = [None] * len(grid)
+    for index in plan.journaled:
+        outcomes[index] = restored[plan.cache_keys[index]]
+    if run_journal is not None:
+        run_journal.start(resume=resume)
+
+    def _finish(
+        shard: SweepShard,
+        shard_outcomes: Sequence[Tuple[int, ExperimentResult, bool]],
+    ) -> None:
+        for index, result, hit in shard_outcomes:
+            outcomes[index] = (result, hit)
+        if run_journal is not None:
+            by_index = dict(zip(shard.indices, shard.points))
+            run_journal.append(
+                [
+                    (by_index[index], plan.cache_keys[index], result, hit)
+                    for index, result, hit in shard_outcomes
+                ]
+            )
+
+    workers = max_workers or max(1, min(len(plan.shards), os.cpu_count() or 1))
+    inline = (
+        executor == "serial"
+        or len(plan.shards) <= 1
+        or (executor == "thread" and workers == 1)
+    )
+    if inline:
+        for shard in plan.shards:
+            _finish(shard, run_shard(shard, cache_dir))
     else:
-        with ThreadPoolExecutor(max_workers=max_workers) as executor:
-            futures = [
-                executor.submit(run_point, point, cache_dir) for point in grid
-            ]
-            outcomes = [future.result() for future in futures]
-    results = tuple(result for result, _ in outcomes)
-    hits = sum(1 for _, hit in outcomes if hit)
+        pool_type = (
+            ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+        )
+        pool = pool_type(max_workers=workers)
+        try:
+            futures = {
+                pool.submit(run_shard, shard, cache_dir): shard
+                for shard in plan.shards
+            }
+            for future in as_completed(futures):
+                _finish(futures[future], future.result())
+        finally:
+            # A failing shard (or Ctrl-C) must not let the rest of the grid
+            # drain pointlessly: drop everything not yet started.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    completed = [outcome for outcome in outcomes if outcome is not None]
+    if len(completed) != len(grid):  # pragma: no cover - defensive
+        raise RuntimeError("sweep finished with unexecuted grid points")
+    hits = sum(1 for _, hit in completed if hit)
+    stats = SweepStats(
+        executor=executor,
+        max_workers=workers,
+        shards=len(plan.shards),
+        warm_points=plan.warm_points,
+        cold_points=plan.cold_points,
+        journaled_points=len(plan.journaled),
+        elapsed_s=time.perf_counter() - started,
+    )
     return SweepResult(
-        results=results, cache_hits=hits, cache_misses=len(outcomes) - hits
+        results=tuple(result for result, _ in completed),
+        cache_hits=hits,
+        cache_misses=len(completed) - hits,
+        stats=stats,
     )

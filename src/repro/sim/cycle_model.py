@@ -29,8 +29,6 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 __docformat__ = "numpy"
 
 from ..arch.config import DBPIMConfig, SPARSITY_VARIANTS
@@ -38,7 +36,7 @@ from ..arch.energy import EnergyBreakdown, EnergyModel
 from ..compiler.mapping import map_layer
 from ..workloads.layers import LayerShape
 from ..workloads.profiles import LayerSparsityProfile, ModelSparsityProfile
-from .vectorized import BatchActivity, ProfileArrays, simulate_layers
+from .vectorized import BatchActivity, ProfileArrays, simulate_jobs
 
 __all__ = [
     "LayerPerformance",
@@ -399,35 +397,7 @@ class CycleModel:
         if not jobs:
             return []
         job_arrays = [self._arrays_for(profile) for profile, _ in jobs]
-        lengths = np.array([len(arrays) for arrays in job_arrays], dtype=np.int64)
-        batch = _concatenate_arrays(job_arrays)
-
-        def _per_layer(values, dtype) -> np.ndarray:
-            return np.repeat(np.array(values, dtype=dtype), lengths)
-
-        activity = simulate_layers(
-            batch,
-            rows=_per_layer([c.macro.rows for c in variant_configs], np.int64),
-            columns=_per_layer(
-                [c.macro.columns for c in variant_configs], np.int64
-            ),
-            input_bits=_per_layer(
-                [c.macro.input_bits for c in variant_configs], np.int64
-            ),
-            weight_bits=_per_layer(
-                [c.macro.weight_bits for c in variant_configs], np.int64
-            ),
-            num_macros=_per_layer(
-                [c.num_macros for c in variant_configs], np.int64
-            ),
-            weight_sparsity=_per_layer(
-                [c.weight_sparsity for c in variant_configs], bool
-            ),
-            input_sparsity=_per_layer(
-                [c.input_sparsity for c in variant_configs], bool
-            ),
-            energy_model=self.energy_model,
-        )
+        activity = simulate_jobs(job_arrays, variant_configs, self.energy_model)
         return self._materialize_jobs(jobs, job_arrays, activity)
 
     def _arrays_for(self, profile: ModelSparsityProfile) -> ProfileArrays:
@@ -527,24 +497,3 @@ class CycleModel:
         return 1.0 - improved.total_energy_pj / baseline.total_energy_pj
 
 
-def _concatenate_arrays(batches: Sequence[ProfileArrays]) -> ProfileArrays:
-    """Concatenate several :class:`ProfileArrays` into one batch."""
-    if len(batches) == 1:
-        return batches[0]
-    return ProfileArrays(
-        layers=tuple(layer for batch in batches for layer in batch.layers),
-        out_channels=np.concatenate([b.out_channels for b in batches]),
-        reduction=np.concatenate([b.reduction for b in batches]),
-        output_positions=np.concatenate([b.output_positions for b in batches]),
-        activation_count=np.concatenate([b.activation_count for b in batches]),
-        weight_count=np.concatenate([b.weight_count for b in batches]),
-        macs=np.concatenate([b.macs for b in batches]),
-        input_active_columns=np.concatenate(
-            [b.input_active_columns for b in batches]
-        ),
-        storage_utilization=np.concatenate(
-            [b.storage_utilization for b in batches]
-        ),
-        binary_zero_ratio=np.concatenate([b.binary_zero_ratio for b in batches]),
-        threshold_counts=np.concatenate([b.threshold_counts for b in batches]),
-    )

@@ -31,12 +31,13 @@ the readable reference implementation; this kernel is the fast path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 __docformat__ = "numpy"
 
 import numpy as np
 
+from ..arch.config import DBPIMConfig
 from ..arch.energy import EnergyModel
 from ..compiler.mapping import MAX_FTA_THRESHOLD
 from ..workloads.layers import LayerShape
@@ -47,6 +48,8 @@ __all__ = [
     "ProfileArrays",
     "BatchActivity",
     "simulate_layers",
+    "concatenate_batches",
+    "simulate_jobs",
 ]
 
 
@@ -322,4 +325,111 @@ def simulate_layers(
         effective_cell_activations=effective,
         macs=arrays.macs,
         energy=energy,
+    )
+
+
+def concatenate_batches(batches: Sequence[ProfileArrays]) -> ProfileArrays:
+    """Concatenate several :class:`ProfileArrays` into one larger batch.
+
+    Parameters
+    ----------
+    batches : sequence of ProfileArrays
+        The per-model (or per-job) batches, in batch order.
+
+    Returns
+    -------
+    ProfileArrays
+        One structure-of-arrays batch whose layers are the concatenation
+        of every input batch's layers (a single-element sequence is
+        returned as-is, no copies).
+    """
+    if len(batches) == 1:
+        return batches[0]
+    return ProfileArrays(
+        layers=tuple(layer for batch in batches for layer in batch.layers),
+        out_channels=np.concatenate([b.out_channels for b in batches]),
+        reduction=np.concatenate([b.reduction for b in batches]),
+        output_positions=np.concatenate([b.output_positions for b in batches]),
+        activation_count=np.concatenate([b.activation_count for b in batches]),
+        weight_count=np.concatenate([b.weight_count for b in batches]),
+        macs=np.concatenate([b.macs for b in batches]),
+        input_active_columns=np.concatenate(
+            [b.input_active_columns for b in batches]
+        ),
+        storage_utilization=np.concatenate(
+            [b.storage_utilization for b in batches]
+        ),
+        binary_zero_ratio=np.concatenate([b.binary_zero_ratio for b in batches]),
+        threshold_counts=np.concatenate([b.threshold_counts for b in batches]),
+    )
+
+
+def simulate_jobs(
+    job_arrays: Sequence[ProfileArrays],
+    job_configs: Sequence[DBPIMConfig],
+    energy_model: EnergyModel,
+) -> BatchActivity:
+    """Shard-sized batch entry point: many (profile, config) jobs, one pass.
+
+    This is the kernel the sweep service's shard workers (and
+    :meth:`repro.sim.cycle_model.CycleModel.run_batch`) ride: each job is a
+    whole workload profile already flattened to :class:`ProfileArrays`,
+    paired with the (variant-resolved) hardware configuration it should be
+    evaluated under.  The jobs are concatenated into one batch, the
+    per-job hardware knobs are broadcast to per-layer arrays, and the whole
+    shard is evaluated by a single :func:`simulate_layers` call -- bitwise
+    identical to evaluating the jobs one at a time.
+
+    Parameters
+    ----------
+    job_arrays : sequence of ProfileArrays
+        One flattened profile per job, in job order.
+    job_configs : sequence of DBPIMConfig
+        The hardware configuration of each job (sparsity flags already
+        resolved to the Fig. 7 variant), aligned with ``job_arrays``.
+    energy_model : EnergyModel
+        Prices the activity counts (shared across the batch).
+
+    Returns
+    -------
+    BatchActivity
+        Per-layer results of the concatenated batch; slice by the job
+        lengths (``len(arrays)``) to recover per-job views.
+
+    Raises
+    ------
+    ValueError
+        If ``job_arrays`` and ``job_configs`` have different lengths, or
+        the job list is empty.
+    """
+    if len(job_arrays) != len(job_configs):
+        raise ValueError(
+            f"got {len(job_arrays)} job arrays but {len(job_configs)} configs"
+        )
+    if not job_arrays:
+        raise ValueError("simulate_jobs requires at least one job")
+    lengths = np.array([len(arrays) for arrays in job_arrays], dtype=np.int64)
+    batch = concatenate_batches(job_arrays)
+
+    def _per_layer(values, dtype) -> np.ndarray:
+        return np.repeat(np.array(values, dtype=dtype), lengths)
+
+    return simulate_layers(
+        batch,
+        rows=_per_layer([c.macro.rows for c in job_configs], np.int64),
+        columns=_per_layer([c.macro.columns for c in job_configs], np.int64),
+        input_bits=_per_layer(
+            [c.macro.input_bits for c in job_configs], np.int64
+        ),
+        weight_bits=_per_layer(
+            [c.macro.weight_bits for c in job_configs], np.int64
+        ),
+        num_macros=_per_layer([c.num_macros for c in job_configs], np.int64),
+        weight_sparsity=_per_layer(
+            [c.weight_sparsity for c in job_configs], bool
+        ),
+        input_sparsity=_per_layer(
+            [c.input_sparsity for c in job_configs], bool
+        ),
+        energy_model=energy_model,
     )

@@ -140,3 +140,77 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "--- table4" in out
         assert "1 result(s)" in out
+        assert "executor=thread" in out  # service stats line
+
+    def test_sweep_executor_backends_agree(self, capsys, tmp_path):
+        results = {}
+        for executor in ("serial", "thread", "process"):
+            out_path = tmp_path / f"{executor}.json"
+            argv = [
+                "sweep", "--experiments", "fig7", "--models", "alexnet",
+                "--executor", executor, "--json", str(out_path), "--quiet",
+            ]
+            assert main(argv) == 0
+            results[executor] = SweepResult.load(out_path)
+        assert results["serial"] == results["thread"] == results["process"]
+
+    def test_sweep_journal_and_resume(self, capsys, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        out_path = tmp_path / "sweep.json"
+        base = [
+            "sweep", "--experiments", "fig7", "table4", "--models", "alexnet",
+            "--executor", "serial", "--shards", "2",
+            "--journal", str(journal), "--quiet",
+        ]
+        assert main(base + ["--json", str(out_path)]) == 0
+        first = SweepResult.load(out_path)
+        assert journal.exists()
+        assert main(base + ["--resume", "--json", str(out_path)]) == 0
+        resumed = SweepResult.load(out_path)
+        assert resumed == first  # byte-identical payload, nothing recomputed
+
+    def test_sweep_resume_requires_journal(self, capsys):
+        assert main(["sweep", "--experiments", "table4", "--resume"]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_shards_and_workers(self, capsys):
+        assert main(["sweep", "--experiments", "table4", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert main(["sweep", "--experiments", "table4", "--max-workers", "0"]) == 2
+        assert "--max-workers" in capsys.readouterr().err
+
+
+class TestDidYouMean:
+    def test_misspelled_experiment_suggests_and_exits_2(self, capsys):
+        assert main(["run", "tabel4"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err and "table4" in err
+        assert "did you mean" in err
+
+    def test_misspelled_config_suggests_and_exits_2(self, capsys):
+        assert main(["run", "table4", "--config", "paper-28mn"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown config preset" in err and "paper-28nm" in err
+        assert "did you mean" in err
+
+    def test_misspelled_workload_suggests_and_exits_2(self, capsys):
+        assert main(["run", "fig7", "--models", "alexnt"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err and "alexnet" in err
+        assert "did you mean" in err
+
+    def test_sweep_misspelled_experiment_suggests(self, capsys):
+        assert main(["sweep", "--experiments", "fig7", "grap"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err and "graph" in err
+
+    def test_sweep_misspelled_config_suggests(self, capsys):
+        assert main(["sweep", "--experiments", "table4",
+                     "--configs", "dense-baselin"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown config preset" in err and "dense-baseline" in err
+
+    def test_unrelated_name_lists_available(self, capsys):
+        assert main(["run", "zzz"]) == 2
+        err = capsys.readouterr().err
+        assert "available:" in err and "fig7" in err
