@@ -130,3 +130,43 @@ def test_bench_sweep_rejects_bad_repeats(tmp_path, capsys):
     with pytest.raises(SystemExit):
         bench_sweep.main(["--repeats", "0"])
     capsys.readouterr()
+
+
+bench_serve = _load("bench_serve")
+
+
+def test_bench_serve_emits_report(tmp_path):
+    output = tmp_path / "BENCH_serve.json"
+    code = bench_serve.main(
+        [
+            "--model", "alexnet",
+            "--concurrency", "1", "4",
+            "--requests", "8",
+            "--repeats", "1",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert report["benchmark"] == "serve"
+    assert report["cold_process_s"] > 0 and report["warm_single_s"] > 0
+    assert (
+        report["warm_speedup_vs_cold"]
+        == report["cold_process_s"] / report["warm_single_s"]
+    )
+    assert set(report["throughput"]) == {"1", "4"}
+    for entry in report["throughput"].values():
+        assert entry["requests"] == 8
+        assert entry["requests_per_s"] > 0
+
+
+def test_bench_serve_rejects_bad_arguments(tmp_path, capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        bench_serve.main(["--repeats", "0"])
+    with pytest.raises(SystemExit):
+        bench_serve.main(["--requests", "0"])
+    with pytest.raises(SystemExit):
+        bench_serve.main(["--concurrency", "0"])
+    capsys.readouterr()

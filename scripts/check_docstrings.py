@@ -1,5 +1,6 @@
 """Fail if any public API of ``repro.api`` / ``repro.sim`` /
-``repro.compiler`` / ``repro.workloads`` lacks a docstring.
+``repro.compiler`` / ``repro.workloads`` / ``repro.serve`` lacks a
+docstring.
 
 Run as part of the ``docs`` CI job (and locally before sending a PR):
 
@@ -19,7 +20,13 @@ import pkgutil
 import sys
 from typing import Iterator, List, Tuple
 
-PACKAGES = ("repro.api", "repro.sim", "repro.compiler", "repro.workloads")
+PACKAGES = (
+    "repro.api",
+    "repro.sim",
+    "repro.compiler",
+    "repro.workloads",
+    "repro.serve",
+)
 
 #: Public symbols that must exist *and* be documented -- the load-bearing
 #: surface of the sweep service and the vectorized batch kernel.  Walking
@@ -38,6 +45,20 @@ REQUIRED_SYMBOLS = (
     "repro.api.experiment.Experiment.run_sweep",
     "repro.sim.vectorized.simulate_jobs",
     "repro.sim.vectorized.concatenate_batches",
+    "repro.sim.vectorized.profile_arrays",
+    "repro.sim.vectorized.invalidate_profile_arrays",
+    "repro.api.sweep.SweepJournalLockedError",
+    "repro.api.sweep.SweepJournal.acquire",
+    "repro.api.sweep.SweepJournal.release",
+    "repro.serve.service.ExperimentService",
+    "repro.serve.service.ServiceRuntime",
+    "repro.serve.service.ServeConfig",
+    "repro.serve.service.RunRequest",
+    "repro.serve.service.RunOutcome",
+    "repro.serve.cache.HotResultCache",
+    "repro.serve.metrics.MetricsRegistry",
+    "repro.serve.http.make_server",
+    "repro.serve.http.ServeHTTPServer",
 )
 
 

@@ -1,0 +1,116 @@
+"""End-to-end smoke test of the ``repro serve`` daemon (CI ``serve-smoke``).
+
+Starts the daemon as a real subprocess on an ephemeral port, exercises the
+whole HTTP surface -- ``/v1/health``, ``/v1/run`` (cold + hot-cache repeat),
+``/v1/sweep``, ``/v1/metrics`` -- and finishes with a SIGTERM, asserting the
+daemon drains and exits 0.  Run locally with::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+
+Exit code 0 means every probe passed; any assertion prints the offending
+payload and exits non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+
+TIMEOUT_S = 120
+
+
+def _post(url: str, path: str, payload: dict) -> tuple:
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=TIMEOUT_S) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(url: str, path: str) -> tuple:
+    with urllib.request.urlopen(url + path, timeout=TIMEOUT_S) as response:
+        return response.status, json.loads(response.read())
+
+
+def main() -> int:
+    """Run the smoke sequence; returns the process exit code."""
+    env = dict(os.environ)
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.api.cli", "serve", "--port", "0"],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        banner = daemon.stdout.readline().strip()
+        assert "listening on http://" in banner, banner
+        url = banner.rsplit(" ", 1)[-1]
+        print(f"daemon up at {url}")
+
+        status, body = _get(url, "/v1/health")
+        assert status == 200 and body["status"] == "ok", (status, body)
+        print("health OK")
+
+        status, body = _post(
+            url, "/v1/run", {"experiment": "fig7", "models": ["alexnet"]}
+        )
+        assert status == 200, (status, body)
+        assert body["result"]["experiment"] == "fig7", body
+        assert len(body["result"]["rows"]) == 1, body
+        cold_latency = body["outcome"]["latency_s"]
+        print(f"run OK ({cold_latency * 1e3:.1f} ms cold)")
+
+        status, body = _post(
+            url, "/v1/run", {"experiment": "fig7", "models": ["alexnet"]}
+        )
+        assert status == 200 and body["outcome"]["cache_hit"], (status, body)
+        print(f"hot-cache repeat OK ({body['outcome']['latency_s'] * 1e3:.2f} ms)")
+
+        status, body = _post(url, "/v1/run", {"experiment": "nope"})
+        assert status == 400, (status, body)
+        print("validation error mapping OK (400)")
+
+        status, body = _post(
+            url,
+            "/v1/sweep",
+            {"experiments": ["fig7"], "models": ["alexnet", "mobilenetv2"]},
+        )
+        assert status == 200 and len(body["sweep"]["results"]) == 2, (
+            status,
+            body,
+        )
+        print("sweep OK")
+
+        status, body = _get(url, "/v1/metrics")
+        assert status == 200, (status, body)
+        counters = body["counters"]
+        assert counters["requests_total"] >= 3, counters
+        assert counters["cache_hits"] >= 1, counters
+        assert body["derived"]["errors_total"] == 1, body["derived"]
+        print(f"metrics OK: {body['derived']}")
+
+        daemon.send_signal(signal.SIGTERM)
+        output, _ = daemon.communicate(timeout=60)
+        assert "drained and stopped" in output, output
+        assert daemon.returncode == 0, daemon.returncode
+        print("SIGTERM drain OK (exit 0)")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.communicate(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,7 @@ from .sweep import (
     ShardPlan,
     ShardPlanner,
     SweepJournal,
+    SweepJournalLockedError,
     SweepPoint,
     SweepPointError,
     SweepShard,
@@ -128,6 +129,7 @@ __all__ = [
     "ShardPlan",
     "ShardPlanner",
     "SweepJournal",
+    "SweepJournalLockedError",
     "SweepPointError",
     "build_grid",
     "run_point",

@@ -106,7 +106,8 @@ def _check_configs(configs: Optional[Sequence[str]]) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the ``repro`` argument parser (``list`` / ``run`` / ``sweep``)."""
+    """Build the ``repro`` argument parser (``list`` / ``run`` / ``sweep`` /
+    ``serve``)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -223,6 +224,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--quiet", action="store_true", help="suppress the formatted tables"
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="start the long-lived HTTP experiment daemon (repro.serve)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port (0 picks a free port and prints it)",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="admission bound: queued requests beyond this are rejected "
+        "with 503",
+    )
+    serve_parser.add_argument(
+        "--batch-window-ms", type=float, default=5.0, metavar="MS",
+        help="how long the batcher collects compatible requests before "
+        "dispatching one coalesced simulator pass",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="default per-request deadline",
+    )
+    serve_parser.add_argument(
+        "--hot-cache-size", type=int, default=256, metavar="N",
+        help="in-memory result cache capacity (0 disables)",
+    )
+    serve_parser.add_argument(
+        "--hot-cache-ttl", type=float, default=300.0, metavar="SECONDS",
+        help="in-memory result cache TTL (0 disables expiry)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk JSON result cache shared with 'repro sweep'",
+    )
+    serve_parser.add_argument(
+        "--allow-heavy", action="store_true",
+        help="admit training experiments (table2; minutes-scale runs)",
     )
     return parser
 
@@ -368,7 +411,65 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-_COMMANDS = {"list": _command_list, "run": _command_run, "sweep": _command_sweep}
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the daemon pulls in asyncio/http plumbing that the
+    # one-shot commands never need.
+    import signal
+    import threading
+
+    from ..serve.http import make_server
+    from ..serve.service import ServeConfig
+
+    if args.max_queue <= 0:
+        raise CLIError("--max-queue must be positive")
+    if args.batch_window_ms < 0:
+        raise CLIError("--batch-window-ms must be >= 0")
+    if args.timeout <= 0:
+        raise CLIError("--timeout must be positive")
+    if args.hot_cache_size < 0:
+        raise CLIError("--hot-cache-size must be >= 0")
+    config = ServeConfig(
+        max_queue=args.max_queue,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        default_timeout_s=args.timeout,
+        hot_cache_size=args.hot_cache_size,
+        hot_cache_ttl_s=args.hot_cache_ttl if args.hot_cache_ttl > 0 else None,
+        cache_dir=args.cache_dir,
+        allow_heavy=args.allow_heavy,
+    )
+    server = make_server(host=args.host, port=args.port, config=config)
+    stopping = threading.Event()
+
+    def _stop(signum: int, frame: Any) -> None:
+        # shutdown() blocks until serve_forever() returns, so it must run
+        # off the serving thread; the first signal wins.
+        if not stopping.is_set():
+            stopping.set()
+            threading.Thread(
+                target=server.shutdown, name="repro-serve-shutdown"
+            ).start()
+
+    previous = {
+        signum: signal.signal(signum, _stop)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    print(f"repro serve: listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.server_close()
+    print("repro serve: drained and stopped", flush=True)
+    return 0
+
+
+_COMMANDS = {
+    "list": _command_list,
+    "run": _command_run,
+    "sweep": _command_sweep,
+    "serve": _command_serve,
+}
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -95,6 +95,7 @@ __all__ = [
     "ShardPlan",
     "ShardPlanner",
     "SweepJournal",
+    "SweepJournalLockedError",
     "SweepPointError",
     "build_grid",
     "run_point",
@@ -697,6 +698,32 @@ def run_shard(
 # ---------------------------------------------------------------------------
 # Run journal (append-only JSONL, flushed per shard)
 # ---------------------------------------------------------------------------
+class SweepJournalLockedError(RuntimeError):
+    """Another live sweep holds the journal's exclusive lock.
+
+    Two concurrent sweeps appending to one ``sweep.jsonl`` would interleave
+    their shard writes into a journal neither run could resume from, so
+    :meth:`SweepJournal.acquire` fails fast with this error instead.  The
+    message names the lock file and the PID of the holder; if that process
+    is genuinely gone the lock is stale and is reclaimed automatically.
+    """
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe of another process on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
 class SweepJournal:
     """Append-only JSONL journal making sweeps resumable.
 
@@ -718,6 +745,77 @@ class SweepJournal:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        self._locked = False
+
+    @property
+    def lock_path(self) -> Path:
+        """The sidecar PID-sentinel file guarding exclusive journal access."""
+        return Path(f"{self.path}.lock")
+
+    def acquire(self) -> None:
+        """Take the journal's exclusive lock (PID sentinel, O_EXCL create).
+
+        Creates ``<journal>.lock`` atomically; the file holds this
+        process's PID.  If the lock already exists and its PID belongs to a
+        live process, the journal is in use by a concurrent sweep and a
+        :class:`SweepJournalLockedError` is raised *before* any journal
+        bytes are written -- two interleaved appenders would corrupt the
+        journal for both runs.  A lock whose PID is dead (a killed sweep)
+        is reclaimed with a :class:`RuntimeWarning`.
+
+        Raises:
+            SweepJournalLockedError: when a live process holds the lock.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        for _ in range(2):  # one retry after reclaiming a stale lock
+            try:
+                handle = os.open(
+                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                holder = self._lock_holder()
+                if holder is not None and _pid_alive(holder):
+                    raise SweepJournalLockedError(
+                        f"journal {self.path} is locked by a running sweep "
+                        f"(pid {holder}, lock file {self.lock_path}); two "
+                        "concurrent sweeps must not share one journal"
+                    )
+                warnings.warn(
+                    f"reclaiming stale sweep-journal lock {self.lock_path} "
+                    f"(holder pid {holder} is gone)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                try:
+                    os.unlink(self.lock_path)
+                except FileNotFoundError:
+                    pass
+                continue
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(f"{os.getpid()}\n")
+            self._locked = True
+            return
+        raise SweepJournalLockedError(
+            f"could not acquire journal lock {self.lock_path}: another "
+            "sweep keeps re-creating it"
+        )
+
+    def _lock_holder(self) -> Optional[int]:
+        """PID recorded in the lock file (``None`` when unreadable)."""
+        try:
+            return int(self.lock_path.read_text(encoding="utf-8").strip())
+        except (OSError, ValueError):
+            return None
+
+    def release(self) -> None:
+        """Drop the exclusive lock taken by :meth:`acquire` (idempotent)."""
+        if not self._locked:
+            return
+        self._locked = False
+        try:
+            os.unlink(self.lock_path)
+        except FileNotFoundError:
+            pass
 
     def load(self) -> Dict[str, Tuple[ExperimentResult, bool]]:
         """Read the journal into ``{cache_key: (result, cache_hit)}``.
@@ -893,6 +991,37 @@ def run_sweep(
         engine=engine,
     )
     run_journal = SweepJournal(journal) if journal is not None else None
+    if run_journal is not None:
+        # Exclusive PID-sentinel lock: a second sweep pointed at the same
+        # journal fails fast instead of interleaving shard appends.
+        run_journal.acquire()
+    try:
+        return _run_sweep_locked(
+            grid=grid,
+            run_journal=run_journal,
+            resume=resume,
+            cache_dir=cache_dir,
+            shards=shards,
+            max_workers=max_workers,
+            executor=executor,
+            started=started,
+        )
+    finally:
+        if run_journal is not None:
+            run_journal.release()
+
+
+def _run_sweep_locked(
+    grid: List[SweepPoint],
+    run_journal: Optional[SweepJournal],
+    resume: bool,
+    cache_dir: Optional[Union[str, Path]],
+    shards: Optional[int],
+    max_workers: Optional[int],
+    executor: str,
+    started: float,
+) -> SweepResult:
+    """Body of :func:`run_sweep`, run while holding the journal lock."""
     restored: Dict[str, Tuple[ExperimentResult, bool]] = {}
     if run_journal is not None and resume:
         restored = run_journal.load()

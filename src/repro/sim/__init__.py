@@ -38,6 +38,8 @@ from .vectorized import (
     MAX_FTA_THRESHOLD,
     BatchActivity,
     ProfileArrays,
+    invalidate_profile_arrays,
+    profile_arrays,
     simulate_layers,
 )
 
@@ -61,5 +63,7 @@ __all__ = [
     "MAX_FTA_THRESHOLD",
     "BatchActivity",
     "ProfileArrays",
+    "profile_arrays",
+    "invalidate_profile_arrays",
     "simulate_layers",
 ]

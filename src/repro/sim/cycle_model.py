@@ -25,7 +25,6 @@ Two interchangeable engines back the model (see
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,7 +35,12 @@ from ..arch.energy import EnergyBreakdown, EnergyModel
 from ..compiler.mapping import map_layer
 from ..workloads.layers import LayerShape
 from ..workloads.profiles import LayerSparsityProfile, ModelSparsityProfile
-from .vectorized import BatchActivity, ProfileArrays, simulate_jobs
+from .vectorized import (
+    BatchActivity,
+    ProfileArrays,
+    profile_arrays,
+    simulate_jobs,
+)
 
 __all__ = [
     "LayerPerformance",
@@ -166,11 +170,6 @@ class CycleModel:
         self.config = config or DBPIMConfig()
         self.energy_model = energy_model or EnergyModel()
         self.engine = engine
-        # ProfileArrays are pure functions of a profile; memoise them per
-        # live profile object so a 4-variant (or whole-sweep) batch flattens
-        # each profile once.  Guarded by a weakref so a recycled ``id()``
-        # can never alias a dead profile's arrays.
-        self._arrays_cache: Dict[int, Tuple[weakref.ref, ProfileArrays]] = {}
 
     # ------------------------------------------------------------------
     # Configuration variants
@@ -401,23 +400,14 @@ class CycleModel:
         return self._materialize_jobs(jobs, job_arrays, activity)
 
     def _arrays_for(self, profile: ModelSparsityProfile) -> ProfileArrays:
-        """Memoised :class:`ProfileArrays` of one live profile object."""
-        key = id(profile)
-        entry = self._arrays_cache.get(key)
-        if entry is not None:
-            ref, arrays = entry
-            if ref() is profile:
-                return arrays
-        arrays = ProfileArrays.from_profile(profile)
-        # The finalizer evicts the entry when the profile dies, bounding the
-        # cache by the number of *live* profiles; the identity check above
-        # guards the window where a recycled id() precedes the callback.
-        cache = self._arrays_cache
-        self._arrays_cache[key] = (
-            weakref.ref(profile, lambda _: cache.pop(key, None)),
-            arrays,
-        )
-        return arrays
+        """Memoised :class:`ProfileArrays` of one live profile object.
+
+        Delegates to the module-wide keyed cache
+        (:func:`repro.sim.vectorized.profile_arrays`), so every engine
+        instance -- including the warm sessions the serve daemon keeps --
+        shares one flattened view per live profile.
+        """
+        return profile_arrays(profile)
 
     @staticmethod
     def _materialize_jobs(

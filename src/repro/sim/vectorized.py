@@ -30,8 +30,11 @@ the readable reference implementation; this kernel is the fast path.
 
 from __future__ import annotations
 
+import threading
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 __docformat__ = "numpy"
 
@@ -45,8 +48,11 @@ from ..workloads.profiles import ModelSparsityProfile
 
 __all__ = [
     "MAX_FTA_THRESHOLD",
+    "PROFILE_ARRAYS_CACHE_SIZE",
     "ProfileArrays",
     "BatchActivity",
+    "profile_arrays",
+    "invalidate_profile_arrays",
     "simulate_layers",
     "concatenate_batches",
     "simulate_jobs",
@@ -164,6 +170,106 @@ class ProfileArrays:
             ),
             threshold_counts=threshold_counts,
         )
+
+
+# ---------------------------------------------------------------------------
+# Module-level ProfileArrays memoisation
+# ---------------------------------------------------------------------------
+#: Maximum live entries of the module-level :func:`profile_arrays` cache.
+#: Generous relative to the workload registry (a handful of models times a
+#: handful of concurrently live seeds/sessions); excess entries evict in
+#: least-recently-used order.
+PROFILE_ARRAYS_CACHE_SIZE = 128
+
+#: ``id(profile) -> (weakref, arrays)``; the id is only trusted while the
+#: weakref still points at the same live object (a recycled ``id()`` of a
+#: dead profile must never alias another profile's arrays).
+_ARRAYS_CACHE: "OrderedDict[int, Tuple[weakref.ref, ProfileArrays]]" = (
+    OrderedDict()
+)
+_ARRAYS_CACHE_LOCK = threading.Lock()
+
+
+def profile_arrays(
+    profile: ModelSparsityProfile, *, bypass_cache: bool = False
+) -> "ProfileArrays":
+    """Memoised :class:`ProfileArrays` of one live profile object.
+
+    :class:`ProfileArrays` is a pure function of its profile, so flattening
+    is memoised *module-wide* and keyed by the live profile object: every
+    cycle-model instance (and every warm serve-session) evaluating the same
+    profile shares one flattened view instead of re-flattening per engine
+    instance.  Entries are dropped automatically when the profile object is
+    garbage-collected and evicted LRU beyond
+    :data:`PROFILE_ARRAYS_CACHE_SIZE`; the cache is thread-safe (the serve
+    batcher flattens from executor threads).
+
+    Parameters
+    ----------
+    profile : ModelSparsityProfile
+        The profiled workload to flatten.
+    bypass_cache : bool, optional
+        When True, always build a fresh :class:`ProfileArrays` and leave
+        the cache untouched (useful while mutating profiling code, and for
+        the cache's own equivalence tests).
+
+    Returns
+    -------
+    ProfileArrays
+        The flattened (and, unless bypassed, shared) per-layer arrays.
+    """
+    if bypass_cache:
+        return ProfileArrays.from_profile(profile)
+    key = id(profile)
+    with _ARRAYS_CACHE_LOCK:
+        entry = _ARRAYS_CACHE.get(key)
+        if entry is not None:
+            ref, arrays = entry
+            if ref() is profile:
+                _ARRAYS_CACHE.move_to_end(key)
+                return arrays
+            del _ARRAYS_CACHE[key]  # recycled id of a dead profile
+    arrays = ProfileArrays.from_profile(profile)
+
+    def _evict(_reference: object, *, key: int = key) -> None:
+        with _ARRAYS_CACHE_LOCK:
+            _ARRAYS_CACHE.pop(key, None)
+
+    with _ARRAYS_CACHE_LOCK:
+        _ARRAYS_CACHE[key] = (weakref.ref(profile, _evict), arrays)
+        _ARRAYS_CACHE.move_to_end(key)
+        while len(_ARRAYS_CACHE) > PROFILE_ARRAYS_CACHE_SIZE:
+            _ARRAYS_CACHE.popitem(last=False)
+    return arrays
+
+
+def invalidate_profile_arrays(
+    profile: Optional[ModelSparsityProfile] = None,
+) -> int:
+    """Drop memoised :func:`profile_arrays` entries.
+
+    Parameters
+    ----------
+    profile : ModelSparsityProfile, optional
+        Evict only this profile's entry; ``None`` (default) clears the
+        whole cache -- the invalidation hook to call after monkey-patching
+        profiling or mapping code under test.
+
+    Returns
+    -------
+    int
+        Number of entries evicted.
+    """
+    with _ARRAYS_CACHE_LOCK:
+        if profile is None:
+            count = len(_ARRAYS_CACHE)
+            _ARRAYS_CACHE.clear()
+            return count
+        entry = _ARRAYS_CACHE.get(id(profile))
+        if entry is not None and entry[0]() is profile:
+            del _ARRAYS_CACHE[id(profile)]
+            return 1
+        return 0
 
 
 @dataclass(frozen=True)

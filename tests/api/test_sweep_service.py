@@ -8,6 +8,9 @@ cache-corruption recovery.
 """
 
 import json
+import os
+import subprocess
+import sys
 
 import pytest
 
@@ -17,6 +20,7 @@ from repro.api import (
     ExperimentResult,
     ShardPlanner,
     SweepJournal,
+    SweepJournalLockedError,
     SweepPointError,
     SweepResult,
     build_dbpim_config,
@@ -341,3 +345,66 @@ class TestSessionRunSweep:
         outcomes = run_shard(shard, cache_dir=tmp_path)
         assert [index for index, _, _ in outcomes] == sorted(shard.indices)
         assert all(hit is False for _, _, hit in outcomes)
+
+
+class TestJournalLock:
+    """The exclusive journal lock: two live sweeps must not share a journal."""
+
+    def test_acquire_is_exclusive_and_release_idempotent(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        first = SweepJournal(path)
+        first.acquire()
+        assert first.lock_path.exists()
+        assert int(first.lock_path.read_text().strip()) == os.getpid()
+        second = SweepJournal(path)
+        with pytest.raises(SweepJournalLockedError, match="locked by a running"):
+            second.acquire()
+        first.release()
+        first.release()  # idempotent
+        assert not first.lock_path.exists()
+        second.acquire()  # free again
+        second.release()
+
+    def test_stale_lock_from_dead_process_is_reclaimed(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        # A PID that is guaranteed dead: a subprocess we already reaped.
+        probe = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dead_pid = int(probe.stdout.strip())
+        journal = SweepJournal(path)
+        journal.lock_path.write_text(f"{dead_pid}\n")
+        with pytest.warns(RuntimeWarning, match="reclaiming stale"):
+            journal.acquire()
+        assert int(journal.lock_path.read_text().strip()) == os.getpid()
+        journal.release()
+
+    def test_run_sweep_fails_fast_on_held_journal(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        holder = SweepJournal(journal)
+        holder.acquire()
+        try:
+            with pytest.raises(SweepJournalLockedError):
+                run_sweep(executor="serial", journal=journal, **GRID_KWARGS)
+            # Fail-fast means no journal bytes were written at all.
+            assert not journal.exists()
+        finally:
+            holder.release()
+
+    def test_run_sweep_releases_lock_even_on_failure(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        sweep = run_sweep(executor="serial", journal=journal, **GRID_KWARGS)
+        assert sweep.results
+        assert not SweepJournal(journal).lock_path.exists()
+        with pytest.raises(SweepPointError):
+            run_sweep(
+                executor="serial",
+                journal=tmp_path / "bad.jsonl",
+                experiments=("fig7",),
+                models=("alexnet",),
+                params_by_experiment={"fig7": {"wat": 1}},
+            )
+        assert not SweepJournal(tmp_path / "bad.jsonl").lock_path.exists()

@@ -1,0 +1,177 @@
+"""Tests for the stdlib HTTP façade: endpoints, payloads, error mapping.
+
+One daemon (port 0, background serve thread) backs the endpoint tests; the
+payload-validation unit tests need no server at all.  The contract pinned
+here: ``/v1/run`` responses embed results byte-identical to direct
+``Experiment.run`` dispatch, typed serve errors map to their HTTP statuses
+(400/503/504), and shutdown drains cleanly.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.experiment import Experiment
+from repro.serve import RequestValidationError, RunRequest, ServeConfig
+from repro.serve.http import _request_from_payload, make_server
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One live daemon shared by the endpoint tests (port 0 = ephemeral)."""
+    server = make_server(
+        host="127.0.0.1",
+        port=0,
+        config=ServeConfig(batch_window_s=0.01),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def post(server, path, payload):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestEndpoints:
+    def test_health(self, server):
+        status, body = get(server, "/v1/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["uptime_s"] >= 0
+
+    def test_run_matches_direct_dispatch(self, server):
+        status, body = post(
+            server,
+            "/v1/run",
+            {"experiment": "fig7", "models": ["alexnet"]},
+        )
+        assert status == 200
+        assert body["outcome"]["batch_size"] >= 1
+        expected = Experiment().run("fig7", models=("alexnet",))
+        assert json.dumps(body["result"], sort_keys=True) == json.dumps(
+            expected.to_dict(), sort_keys=True
+        )
+
+    def test_repeat_run_hits_hot_cache(self, server):
+        payload = {"experiment": "fig7", "models": ["resnet18"]}
+        first = post(server, "/v1/run", payload)
+        second = post(server, "/v1/run", payload)
+        assert first[0] == second[0] == 200
+        assert second[1]["outcome"]["cache_hit"] is True
+        assert second[1]["result"] == first[1]["result"]
+
+    def test_run_validation_maps_to_400(self, server):
+        status, body = post(server, "/v1/run", {"experiment": "nope"})
+        assert status == 400
+        assert body["error"]["type"] == "RequestValidationError"
+        assert "unknown experiment" in body["error"]["message"]
+
+    def test_malformed_json_maps_to_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/run",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_sweep_endpoint(self, server):
+        status, body = post(
+            server,
+            "/v1/sweep",
+            {"experiments": ["fig7"], "models": ["alexnet", "resnet18"]},
+        )
+        assert status == 200
+        assert len(body["sweep"]["results"]) == 2
+        experiments = {
+            result["experiment"] for result in body["sweep"]["results"]
+        }
+        assert experiments == {"fig7"}
+
+    def test_sweep_unknown_parameter_maps_to_400(self, server):
+        status, body = post(server, "/v1/sweep", {"wat": 1})
+        assert status == 400
+        assert "unknown sweep parameters" in body["error"]["message"]
+
+    def test_metrics_endpoint(self, server):
+        status, body = get(server, "/v1/metrics")
+        assert status == 200
+        for section in ("counters", "gauges", "latency", "derived", "service"):
+            assert section in body
+        assert body["counters"]["requests_total"] >= 1
+        assert body["service"]["started"] is True
+
+    def test_unknown_path_is_404(self, server):
+        for method in ("GET", "POST"):
+            request = urllib.request.Request(
+                server.url + "/v1/nope",
+                data=b"{}" if method == "POST" else None,
+                method=method,
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 404
+
+
+class TestPayloadParsing:
+    def test_minimal_payload(self):
+        request = _request_from_payload({"experiment": "fig7"})
+        assert request == RunRequest("fig7")
+
+    def test_full_payload(self):
+        request = _request_from_payload(
+            {
+                "experiment": "fig7",
+                "models": ["alexnet"],
+                "config": "paper-28nm",
+                "seed": 3,
+                "engine": "scalar",
+                "params": {},
+                "timeout_s": 2.5,
+            }
+        )
+        assert request.models == ("alexnet",)
+        assert request.seed == 3
+        assert request.engine == "scalar"
+        assert request.timeout_s == 2.5
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ([], "JSON object"),
+            ({"experiment": 7}, "'experiment' must be a string"),
+            ({"experiment": "fig7", "models": "alexnet"}, "'models'"),
+            ({"experiment": "fig7", "params": []}, "'params'"),
+            ({"experiment": "fig7", "seed": "zero"}, "'seed'"),
+            ({"experiment": "fig7", "seed": True}, "'seed'"),
+            ({"experiment": "fig7", "timeout_s": "fast"}, "'timeout_s'"),
+            ({"experiment": "fig7", "wat": 1}, "unknown request fields"),
+        ],
+    )
+    def test_rejects_malformed_fields(self, payload, match):
+        with pytest.raises(RequestValidationError, match=match):
+            _request_from_payload(payload)
