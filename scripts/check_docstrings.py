@@ -23,6 +23,7 @@ from typing import Iterator, List, Tuple
 PACKAGES = (
     "repro.api",
     "repro.sim",
+    "repro.sim.engines",
     "repro.compiler",
     "repro.workloads",
     "repro.serve",
@@ -59,6 +60,22 @@ REQUIRED_SYMBOLS = (
     "repro.serve.metrics.MetricsRegistry",
     "repro.serve.http.make_server",
     "repro.serve.http.ServeHTTPServer",
+    "repro.sim.engines.EngineSpec",
+    "repro.sim.engines.EngineOutcome",
+    "repro.sim.engines.register_engine",
+    "repro.sim.engines.unregister_engine",
+    "repro.sim.engines.temporary_engine",
+    "repro.sim.engines.get_engine",
+    "repro.sim.engines.resolve_cycle_model_engine",
+    "repro.sim.engines.list_engines",
+    "repro.sim.engines.conformance.assert_conformance",
+    "repro.sim.engines.conformance.conformance_mismatches",
+    "repro.sim.engines.conformance.verify_engine",
+    "repro.sim.engines.conformance.ConformanceError",
+    "repro.workloads.fuzz.fuzz_graph",
+    "repro.workloads.fuzz.fuzz_workload",
+    "repro.workloads.fuzz.fuzz_corpus",
+    "repro.workloads.fuzz.graph_fingerprint",
 )
 
 

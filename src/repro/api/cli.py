@@ -29,7 +29,8 @@ import json
 import sys
 from typing import Any, Dict, Iterable, Optional, Sequence
 
-from ..sim.cycle_model import DEFAULT_ENGINE, ENGINES
+from ..sim.cycle_model import DEFAULT_ENGINE
+from ..sim.engines import engine_names, get_engine, list_engines
 from .configs import list_configs
 from .experiment import (
     EXPERIMENTS,
@@ -105,6 +106,18 @@ def _check_configs(configs: Optional[Sequence[str]]) -> None:
         _check_name("config preset", config, list_configs())
 
 
+def _check_engine(engine: str, cycle_model_only: bool = False) -> None:
+    """Validate an engine name against the registry (with suggestions).
+
+    Args:
+        engine: the requested engine name.
+        cycle_model_only: restrict the candidates to cycle-model-capable
+            engines (the sweep grid cannot run the trace simulator).
+    """
+    candidates = engine_names(cycle_model=True if cycle_model_only else None)
+    _check_name("engine", engine, candidates)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``repro`` argument parser (``list`` / ``run`` / ``sweep`` /
     ``serve``)."""
@@ -144,12 +157,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     run_parser.add_argument(
-        "--engine", choices=tuple(ENGINES) + (TRACE_ENGINE,),
-        default=DEFAULT_ENGINE,
-        help="cycle-model engine (vectorized NumPy batch kernel, or the "
-        "scalar per-layer reference; identical numbers). 'trace' replays "
-        "the compiled whole-model program and is only valid for the "
-        "'program' experiment",
+        "--engine", default=DEFAULT_ENGINE, metavar="ENGINE",
+        help="registered engine (see 'repro list'): vectorized NumPy batch "
+        "kernel or the scalar per-layer reference (identical numbers); "
+        "'trace' replays the compiled whole-model program and is only "
+        "valid for the 'program' experiment. Unknown names exit 2 with a "
+        "suggestion from the engine registry",
     )
     run_parser.add_argument(
         "--epochs", type=int, default=None,
@@ -187,8 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="RNG seeds",
     )
     sweep_parser.add_argument(
-        "--engine", choices=ENGINES, default=DEFAULT_ENGINE,
-        help="cycle-model engine for every grid point (part of the cache key)",
+        "--engine", default=DEFAULT_ENGINE, metavar="ENGINE",
+        help="registered cycle-model engine for every grid point (part of "
+        "the cache key); unknown names exit 2 with a suggestion from the "
+        "engine registry",
     )
     sweep_parser.add_argument(
         "--max-workers", type=int, default=None,
@@ -316,6 +331,16 @@ def _command_list(args: argparse.Namespace) -> int:
             "workloads": [entry["name"] for entry in workloads],
             "graphs": workloads,
             "configs": list_configs(),
+            "engines": [
+                {
+                    "name": engine.name,
+                    "title": engine.title,
+                    "cycle_model": engine.cycle_model,
+                    "batch": engine.batch,
+                    "trace_class": engine.trace_class,
+                }
+                for engine in list_engines()
+            ],
         }
         print(json.dumps(payload, indent=2))
         return 0
@@ -332,6 +357,10 @@ def _command_list(args: argparse.Namespace) -> int:
             else f"{entry['layers']} layers (linear)"
         )
         print(f"  {entry['name']:<18} {entry['family']:<12} {structure}")
+    print("engines:")
+    for engine in list_engines():
+        kind = "cycle-model" if engine.cycle_model else "program-trace"
+        print(f"  {engine.name:<12} {kind:<13} {engine.title}")
     print(f"configs:   {' '.join(list_configs())}")
     return 0
 
@@ -355,14 +384,15 @@ def _command_run(args: argparse.Namespace) -> int:
                 )
             params[name] = value
     engine = args.engine
-    if engine == TRACE_ENGINE:
+    _check_engine(engine)
+    if not get_engine(engine).cycle_model:
         if spec.id != "program":
             raise CLIError(
-                "--engine trace replays the compiled program and is only "
-                "valid for the 'program' experiment"
+                f"--engine {engine} replays the compiled program and is "
+                "only valid for the 'program' experiment"
             )
         # The program experiment always runs the trace simulator; its
-        # analytical comparison columns use the default engine.
+        # analytical comparison columns use the default cycle-model engine.
         engine = DEFAULT_ENGINE
     session = _validate(
         Experiment, config=args.config, seed=args.seed, engine=engine
@@ -385,6 +415,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             _check_experiment(experiment)
     _check_configs(args.configs)
     _check_workloads(args.models)
+    _check_engine(args.engine, cycle_model_only=True)
     if args.resume and args.journal is None:
         raise CLIError("--resume requires --journal PATH")
     if args.shards is not None and args.shards <= 0:

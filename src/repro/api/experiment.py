@@ -236,9 +236,13 @@ class Experiment:
         seed: the single RNG seed every stochastic stage derives from.
         input_group: IPU zero-detection group size used when profiling
             input activations (defaults to the configuration's group size).
-        engine: cycle-model engine -- ``"vectorized"`` (default, the NumPy
-            batch kernel) or ``"scalar"`` (the per-layer reference); both
-            produce bitwise-identical results.
+        engine: registered cycle-model engine (see
+            :mod:`repro.sim.engines`) -- ``"vectorized"`` (default, the
+            NumPy batch kernel), ``"scalar"`` (the per-layer reference) or
+            any backend registered via
+            :func:`repro.sim.engines.register_engine`; every cycle-model
+            engine is pinned bitwise-identical to the scalar reference by
+            the conformance suite.
     """
 
     def __init__(
@@ -260,6 +264,7 @@ class Experiment:
         self.input_group = int(input_group)
         self.cycle_model = CycleModel(self.config, engine=engine)
         self.engine = self.cycle_model.engine
+        self.engine_spec = self.cycle_model.engine_spec
         self.area_model = AreaModel()
         self._profiles: Dict[str, ModelSparsityProfile] = {}
         self._dataset: Optional[SyntheticImageDataset] = None

@@ -75,7 +75,8 @@ from typing import (
 )
 
 from ..arch.config import DBPIMConfig
-from ..sim.cycle_model import DEFAULT_ENGINE, ENGINES
+from ..sim.cycle_model import DEFAULT_ENGINE
+from ..sim.engines import get_engine, resolve_cycle_model_engine
 from .configs import config_digest, get_config, register_config
 from .experiment import EXPERIMENTS, Experiment, get_experiment_spec
 from .results import (
@@ -135,8 +136,9 @@ class SweepPoint:
         config: registered hardware preset name.
         seed: RNG seed of the point.
         params: extra experiment parameters (canonicalised to JSON types).
-        engine: cycle-model engine evaluating the point (``"vectorized"``
-            or ``"scalar"``).
+        engine: registered cycle-model engine evaluating the point
+            (``"vectorized"``, ``"scalar"``, or any backend registered via
+            :func:`repro.sim.engines.register_engine`).
     """
 
     experiment: str
@@ -147,10 +149,7 @@ class SweepPoint:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", _jsonify(dict(self.params)))
-        if self.engine not in ENGINES:
-            raise ValueError(
-                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
-            )
+        resolve_cycle_model_engine(self.engine)
 
     def describe(self) -> str:
         """One-line human identification of the point (used by errors)."""
@@ -162,14 +161,18 @@ class SweepPoint:
     def cache_key(self) -> str:
         """Content hash identifying this point's result in the cache.
 
-        Covers the experiment id, canonical parameters, seed, the engine,
-        the full configuration contents (not just the preset name), the
-        result schema version and the package version -- so renaming a
-        preset is harmless while changing its contents, switching engines,
-        or upgrading to a release whose simulator produces different
-        numbers, invalidates the cached entries.  (The engines are pinned
-        numerically identical, but keying them separately keeps the cache
-        trustworthy even while one of them is being modified.)
+        Covers the experiment id, canonical parameters, seed, the engine's
+        registered cache token (:attr:`repro.sim.engines.EngineSpec.cache_token`,
+        the engine name by default -- so historical keys are byte-for-byte
+        stable, pinned by ``tests/engines/test_cache_keys.py``), the full
+        configuration contents (not just the preset name), the result
+        schema version and the package version -- so renaming a preset is
+        harmless while changing its contents, switching engines, bumping an
+        engine's cache token, or upgrading to a release whose simulator
+        produces different numbers, invalidates the cached entries.  (The
+        engines are pinned numerically identical, but keying them
+        separately keeps the cache trustworthy even while one of them is
+        being modified.)
         """
         from .. import __version__
 
@@ -179,7 +182,7 @@ class SweepPoint:
             "experiment": self.experiment,
             "params": self.params,
             "seed": self.seed,
-            "engine": self.engine,
+            "engine": get_engine(self.engine).cache_token,
             "config_digest": config_digest(get_config(self.config)),
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -231,8 +234,7 @@ def build_grid(
     """
     ids = tuple(experiments) if experiments is not None else DEFAULT_SWEEP_EXPERIMENTS
     extra = dict(params_by_experiment or {})
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    resolve_cycle_model_engine(engine)  # validate eagerly, with suggestions
     if models is not None:
         if not models:
             raise ValueError(

@@ -60,7 +60,8 @@ from ..api.sweep import (
     _store_cached,
     run_sweep,
 )
-from ..sim.cycle_model import DEFAULT_ENGINE, ENGINES
+from ..sim.cycle_model import DEFAULT_ENGINE
+from ..sim.engines import resolve_cycle_model_engine
 from .cache import HotResultCache
 from .metrics import MetricsRegistry
 
@@ -184,7 +185,9 @@ class RunRequest:
             (``None`` expands to every registered workload at validation).
         config: registered hardware preset name.
         seed: RNG seed of the run.
-        engine: cycle-model engine (``"vectorized"`` or ``"scalar"``).
+        engine: registered cycle-model engine (``"vectorized"``,
+            ``"scalar"``, or any backend registered via
+            :func:`repro.sim.engines.register_engine`).
         params: extra experiment parameters (e.g. ``group_sizes``).
         timeout_s: per-request deadline override (``None`` uses the
             service default).
@@ -230,10 +233,10 @@ class RunRequest:
             raise RequestValidationError(
                 error.args[0] if error.args else str(error)
             ) from error
-        if self.engine not in ENGINES:
-            raise RequestValidationError(
-                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
-            )
+        try:
+            resolve_cycle_model_engine(self.engine)
+        except ValueError as error:
+            raise RequestValidationError(str(error)) from error
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise RequestValidationError("timeout_s must be positive")
         models = self.models

@@ -1,6 +1,7 @@
 """Cycle-level performance simulation and system metrics.
 
-Three execution styles back the simulator:
+Three execution styles back the simulator, all registered as first-class
+engines in the registry of :mod:`repro.sim.engines`:
 
 * the analytical cycle model with its two interchangeable engines -- the
   NumPy-vectorized batch kernel (:mod:`repro.sim.vectorized`, the default)
@@ -10,8 +11,25 @@ Three execution styles back the simulator:
   replays the compiler's whole-model programs through the top controller
   and is cross-checked against the analytical model within
   :data:`~repro.sim.trace.TRACE_TOLERANCE`.
+
+New backends call :func:`~repro.sim.engines.register_engine` and are
+automatically held to the cross-engine conformance contract
+(:mod:`repro.sim.engines.conformance`, ``tests/engines/``,
+``docs/testing.md``).
 """
 
+from .engines import (
+    EngineOutcome,
+    EngineSpec,
+    cycle_model_engines,
+    engine_names,
+    get_engine,
+    list_engines,
+    register_engine,
+    resolve_cycle_model_engine,
+    temporary_engine,
+    unregister_engine,
+)
 from .cycle_model import (
     DEFAULT_ENGINE,
     ENGINES,
@@ -47,6 +65,16 @@ __all__ = [
     "SPARSITY_VARIANTS",
     "ENGINES",
     "DEFAULT_ENGINE",
+    "EngineSpec",
+    "EngineOutcome",
+    "register_engine",
+    "unregister_engine",
+    "temporary_engine",
+    "get_engine",
+    "resolve_cycle_model_engine",
+    "list_engines",
+    "engine_names",
+    "cycle_model_engines",
     "CycleModel",
     "LayerPerformance",
     "ModelPerformance",

@@ -11,16 +11,18 @@ of the four configurations compared in Fig. 7:
 * ``weight sparsity`` -- dyadic-block mapping, no input skipping,
 * ``hybrid sparsity`` -- both (the full DB-PIM).
 
-Two interchangeable engines back the model (see
-:data:`ENGINES` and ``docs/performance.md``):
+Interchangeable engines back the model, resolved through the engine
+registry of :mod:`repro.sim.engines` (see :data:`ENGINES`,
+``docs/performance.md`` and ``docs/testing.md``):
 
 * ``"vectorized"`` (default) -- the NumPy batch kernel of
   :mod:`repro.sim.vectorized`, which evaluates whole layers -- and batches
   of (model, variant, config) jobs via :meth:`CycleModel.run_batch` -- as
   array operations;
 * ``"scalar"`` -- the original per-layer reference implementation, kept
-  selectable for auditing and pinned bitwise-equal to the vectorized engine
-  by the equivalence tests.
+  selectable for auditing; every other registered cycle-model engine is
+  pinned bitwise-equal to it by the auto-applied conformance suite in
+  ``tests/engines/``.
 """
 
 from __future__ import annotations
@@ -35,11 +37,15 @@ from ..arch.energy import EnergyBreakdown, EnergyModel
 from ..compiler.mapping import map_layer
 from ..workloads.layers import LayerShape
 from ..workloads.profiles import LayerSparsityProfile, ModelSparsityProfile
+from .engines import (
+    EngineSpec,
+    cycle_model_engines,
+    resolve_cycle_model_engine,
+)
 from .vectorized import (
     BatchActivity,
     ProfileArrays,
     profile_arrays,
-    simulate_jobs,
 )
 
 __all__ = [
@@ -51,8 +57,11 @@ __all__ = [
     "DEFAULT_ENGINE",
 ]
 
-#: The selectable cycle-model engines.
-ENGINES = ("scalar", "vectorized")
+#: The cycle-model-capable engines registered at import time, in
+#: registration order.  Kept as a module constant for backwards
+#: compatibility; the engine registry (:mod:`repro.sim.engines`) is the
+#: live source of truth and also covers engines registered later.
+ENGINES = cycle_model_engines()
 
 #: Engine used when none is requested: the NumPy batch kernel.
 DEFAULT_ENGINE = "vectorized"
@@ -152,9 +161,17 @@ class CycleModel:
     energy_model : EnergyModel, optional
         Activity-to-energy pricing (shared component library default).
     engine : str, optional
-        ``"vectorized"`` (default) for the NumPy batch kernel or
-        ``"scalar"`` for the per-layer reference implementation; both
-        produce bitwise-identical results.
+        Name of a registered cycle-model engine (see
+        :mod:`repro.sim.engines`): ``"vectorized"`` (default) for the NumPy
+        batch kernel or ``"scalar"`` for the per-layer reference
+        implementation; all cycle-model engines produce bitwise-identical
+        results (pinned by the conformance suite in ``tests/engines/``).
+
+    Raises
+    ------
+    ValueError
+        For an unregistered engine name (listing the registered engines
+        sorted), or a registered engine that is not cycle-model-capable.
     """
 
     def __init__(
@@ -163,13 +180,10 @@ class CycleModel:
         energy_model: Optional[EnergyModel] = None,
         engine: str = DEFAULT_ENGINE,
     ) -> None:
-        if engine not in ENGINES:
-            raise ValueError(
-                f"unknown engine {engine!r}; expected one of {ENGINES}"
-            )
+        self.engine_spec: EngineSpec = resolve_cycle_model_engine(engine)
         self.config = config or DBPIMConfig()
         self.energy_model = energy_model or EnergyModel()
-        self.engine = engine
+        self.engine = self.engine_spec.name
 
     # ------------------------------------------------------------------
     # Configuration variants
@@ -273,8 +287,8 @@ class CycleModel:
     ) -> ModelPerformance:
         """Latency/energy of a whole workload under one configuration.
 
-        Dispatches to the engine selected at construction; both engines
-        return identical numbers.
+        Dispatches to the engine selected at construction; every
+        registered cycle-model engine returns identical numbers.
 
         Parameters
         ----------
@@ -288,7 +302,7 @@ class CycleModel:
         ModelPerformance
             Per-layer and aggregate performance of the workload.
         """
-        if self.engine == "scalar":
+        if not self.engine_spec.batch:
             return self._run_model_scalar(profile, variant)
         return self.run_batch([(profile, variant)])[0]
 
@@ -329,7 +343,7 @@ class CycleModel:
         dict of str to ModelPerformance
             One entry per :data:`SPARSITY_VARIANTS` name.
         """
-        if self.engine == "scalar":
+        if not self.engine_spec.batch:
             return {
                 variant: self._run_model_scalar(profile, variant)
                 for variant in SPARSITY_VARIANTS
@@ -349,12 +363,14 @@ class CycleModel:
     ) -> List[ModelPerformance]:
         """Evaluate many (profile, variant) jobs in one vectorized pass.
 
-        The layers of every job are concatenated into a single
-        structure-of-arrays batch -- hardware geometry and sparsity flags
-        become per-layer arrays -- so an entire design-space axis (models,
-        variants, macro counts, ...) is simulated by one NumPy expression
-        instead of nested Python loops.  With the scalar engine the jobs
-        fall back to a per-job reference loop.
+        Dispatches through the engine's registered
+        :attr:`~repro.sim.engines.EngineSpec.run_jobs` hook.  With the
+        vectorized engine the layers of every job are concatenated into a
+        single structure-of-arrays batch -- hardware geometry and sparsity
+        flags become per-layer arrays -- so an entire design-space axis
+        (models, variants, macro counts, ...) is simulated by one NumPy
+        expression instead of nested Python loops.  With the scalar engine
+        the jobs fall back to a per-job reference loop.
 
         Parameters
         ----------
@@ -388,16 +404,9 @@ class CycleModel:
             self.variant_config_of(config, variant)
             for (_, variant), config in zip(jobs, config_list)
         ]
-        if self.engine == "scalar":
-            return [
-                self._run_model_scalar(profile, variant, base_config=config)
-                for (profile, variant), config in zip(jobs, config_list)
-            ]
-        if not jobs:
-            return []
-        job_arrays = [self._arrays_for(profile) for profile, _ in jobs]
-        activity = simulate_jobs(job_arrays, variant_configs, self.energy_model)
-        return self._materialize_jobs(jobs, job_arrays, activity)
+        return self.engine_spec.run_jobs(
+            self, jobs, config_list, variant_configs
+        )
 
     def _arrays_for(self, profile: ModelSparsityProfile) -> ProfileArrays:
         """Memoised :class:`ProfileArrays` of one live profile object.

@@ -8,6 +8,14 @@ from .graph import (
     ModelGraph,
     OpKind,
 )
+from .fuzz import (
+    DEFAULT_MAX_NODES,
+    DEFAULT_MIN_NODES,
+    fuzz_corpus,
+    fuzz_graph,
+    fuzz_workload,
+    graph_fingerprint,
+)
 from .layers import LayerKind, LayerShape
 from .models import (
     PAPER_MODELS,
@@ -35,6 +43,12 @@ __all__ = [
     "GraphValidationError",
     "ModelGraph",
     "OpKind",
+    "DEFAULT_MIN_NODES",
+    "DEFAULT_MAX_NODES",
+    "fuzz_graph",
+    "fuzz_workload",
+    "fuzz_corpus",
+    "graph_fingerprint",
     "LayerKind",
     "LayerShape",
     "ModelWorkload",

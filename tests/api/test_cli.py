@@ -35,6 +35,20 @@ class TestList:
         assert by_name["resnet18"]["joins"] == 8
         assert by_name["vit_tiny"]["family"] == "transformer"
 
+    def test_listing_enumerates_engines(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "engines:" in out
+        assert "scalar" in out and "vectorized" in out and "trace" in out
+
+    def test_json_listing_includes_engine_capabilities(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        engines = {entry["name"]: entry for entry in payload["engines"]}
+        assert engines["vectorized"]["cycle_model"] is True
+        assert engines["trace"]["cycle_model"] is False
+        assert engines["trace"]["trace_class"] is True
+
 
 class TestRun:
     def test_run_table4_prints_table_and_json(self, capsys, tmp_path):
@@ -86,6 +100,18 @@ class TestRun:
         assert main(["run", "fig7", "--engine", "trace"]) == 2
         assert "only" in capsys.readouterr().err
 
+    def test_unknown_engine_exits_2_with_suggestion(self, capsys):
+        assert main(["run", "fig7", "--engine", "vectorised"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown engine" in err
+        assert "did you mean: vectorized" in err
+
+    def test_unknown_engine_lists_registry(self, capsys):
+        assert main(["run", "fig7", "--engine", "warp"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown engine" in err
+        assert "scalar" in err and "vectorized" in err and "trace" in err
+
     def test_program_runs_transformer_workload(self, capsys):
         argv = [
             "run", "program", "--workload", "transformer_tiny",
@@ -134,6 +160,20 @@ class TestSweep:
         assert sweep.cache_hits == 2 and sweep.cache_misses == 0
         assert {r.experiment for r in sweep.results} == {"program", "graph"}
         assert all(r.params["models"] == ["vit_tiny"] for r in sweep.results)
+
+    def test_sweep_rejects_non_cycle_model_engine(self, capsys):
+        # The sweep grid only runs cycle-model engines: 'trace' is a
+        # registered engine but not a candidate here.
+        assert main(["sweep", "--experiments", "table4",
+                     "--engine", "trace"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown engine" in err
+        assert "scalar" in err and "vectorized" in err
+
+    def test_sweep_unknown_engine_suggests(self, capsys):
+        assert main(["sweep", "--experiments", "table4",
+                     "--engine", "scaler"]) == 2
+        assert "did you mean: scalar" in capsys.readouterr().err
 
     def test_sweep_prints_sections(self, capsys):
         assert main(["sweep", "--experiments", "table4"]) == 0
