@@ -68,6 +68,14 @@ REQUIRED_SYMBOLS = (
     "repro.sim.engines.get_engine",
     "repro.sim.engines.resolve_cycle_model_engine",
     "repro.sim.engines.list_engines",
+    "repro.sim.vectorized.simulate_grid",
+    "repro.sim.vectorized.config_knobs",
+    "repro.sim.cycle_model.CycleModel.prime",
+    "repro.sim.engines.register_absent_engine",
+    "repro.sim.engines.absent_engines",
+    "repro.sim.engines.jit.register_jit_engine",
+    "repro.sim.engines.jit.NUMBA_AVAILABLE",
+    "repro.sim.engines.jit.JIT_CACHE_TOKEN",
     "repro.sim.engines.conformance.assert_conformance",
     "repro.sim.engines.conformance.conformance_mismatches",
     "repro.sim.engines.conformance.verify_engine",

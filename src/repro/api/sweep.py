@@ -74,7 +74,7 @@ from typing import (
     Union,
 )
 
-from ..arch.config import DBPIMConfig
+from ..arch.config import DBPIMConfig, SPARSITY_VARIANTS
 from ..sim.cycle_model import DEFAULT_ENGINE
 from ..sim.engines import get_engine, resolve_cycle_model_engine
 from .configs import config_digest, get_config, register_config
@@ -437,10 +437,12 @@ class ShardPlanner:
     2. the remainder is split by cache state -- *warm* points (cache entry
        exists) are grouped separately from *cold* points, so a mostly-warm
        re-run does not occupy process workers with deserialisation;
-    3. within each temperature, points are grouped by
-       ``(config, seed, engine)`` -- one worker :class:`Experiment` session
-       per group amortises configuration construction and the workload
-       profile cache -- and each group is chunked into shards of roughly
+    3. within each temperature, points are grouped by ``(seed, engine)``
+       -- configurations deliberately stay *mixed* inside one group, so
+       cold points that differ only in config can ride the config-fused
+       grid kernel (:func:`repro.sim.vectorized.simulate_grid`) of one
+       worker, sharing one workload-profile cache across the per-config
+       sessions -- and each group is chunked into shards of roughly
        ``total / shards`` points, preserving grid order.
 
     Args:
@@ -490,8 +492,9 @@ class ShardPlanner:
         keys = tuple(point.cache_key() for point in grid)
         known = frozenset(journaled_keys or ())
         journaled: List[int] = []
-        # (warm, config, seed, engine) -> [(grid index, point)]
-        groups: Dict[Tuple[bool, str, int, str], List[Tuple[int, SweepPoint]]] = {}
+        # (warm, seed, engine) -> [(grid index, point)]; configs mix inside
+        # a group so one worker can fuse the config axis.
+        groups: Dict[Tuple[bool, int, str], List[Tuple[int, SweepPoint]]] = {}
         totals = {True: 0, False: 0}
         for index, (point, key) in enumerate(zip(grid, keys)):
             if key in known:
@@ -501,7 +504,7 @@ class ShardPlanner:
                 self.cache_dir is not None
                 and (self.cache_dir / f"{key}.json").exists()
             )
-            group_key = (warm, point.config, point.seed, point.engine)
+            group_key = (warm, point.seed, point.engine)
             groups.setdefault(group_key, []).append((index, point))
             totals[warm] += 1
 
@@ -510,18 +513,21 @@ class ShardPlanner:
             warm: max(1, -(-total // target)) for warm, total in totals.items()
         }
         shards: List[SweepShard] = []
-        for (warm, config, _seed, _engine), members in groups.items():
+        for (warm, _seed, _engine), members in groups.items():
             size = chunk_sizes[warm]
-            resolved = ((config, get_config(config)),)
             for start in range(0, len(members), size):
                 chunk = members[start : start + size]
+                resolved: Dict[str, DBPIMConfig] = {}
+                for _, point in chunk:
+                    if point.config not in resolved:
+                        resolved[point.config] = get_config(point.config)
                 shards.append(
                     SweepShard(
                         index=len(shards),
                         indices=tuple(i for i, _ in chunk),
                         points=tuple(p for _, p in chunk),
                         warm=warm,
-                        configs=resolved,
+                        configs=tuple(resolved.items()),
                     )
                 )
         return ShardPlan(
@@ -549,6 +555,38 @@ _MERGEABLE_EXPERIMENTS = frozenset(
 def _session_key(point: SweepPoint) -> Tuple[str, int, str]:
     """The (config, seed, engine) triple one worker session is built from."""
     return (point.config, point.seed, point.engine)
+
+
+#: Experiments whose runner consumes ``CycleModel.run_batch`` over the full
+#: Fig. 7 variant set per model -- the shape the cross-config fused prime
+#: pass precomputes.  Priming any other experiment would burn cycles on
+#: results its runner never asks the cycle model for.
+_PRIMEABLE_EXPERIMENTS = frozenset({"fig7"})
+
+
+def _prime_key(point: SweepPoint) -> Optional[Tuple[str, str, str, int, str]]:
+    """Cross-config fuse bucket of a point, or ``None`` when not fusible.
+
+    Points that share everything *except* the hardware configuration --
+    same primeable experiment, same single model, same non-model
+    parameters, same seed, same batch-capable engine -- evaluate one
+    workload profile under many configs, which is exactly the shape
+    :func:`repro.sim.vectorized.simulate_grid` fuses into one pass.
+    """
+    if point.experiment not in _PRIMEABLE_EXPERIMENTS:
+        return None
+    merged = _merge_key(point)
+    if merged is None:
+        return None
+    if not get_engine(point.engine).batch:
+        return None
+    return (
+        point.experiment,
+        merged[1],
+        str(point.params["models"][0]),
+        point.seed,
+        point.engine,
+    )
 
 
 def _merge_key(point: SweepPoint) -> Optional[Tuple[str, str]]:
@@ -633,6 +671,73 @@ def _run_merged(
     return outcomes
 
 
+def _prime_sessions(
+    pending: Sequence[Tuple[int, SweepPoint]],
+    get_session,
+) -> None:
+    """Precompute cross-config cycle-model results through the fused grid.
+
+    Cold points that differ only in hardware configuration (see
+    :func:`_prime_key`) evaluate one workload profile under many configs.
+    Instead of letting each per-config session recompute its slice, a
+    single :meth:`~repro.sim.cycle_model.CycleModel.run_batch` call with an
+    explicit cross-config grid rides
+    :func:`repro.sim.vectorized.simulate_grid` -- one fused 2-D pass, no
+    per-config profile copies -- and each session is primed with its slice
+    (served, byte-identically, when the point later runs).  Any failure
+    here is non-fatal: priming is a pure performance hint, the normal
+    per-point path recomputes whatever was not primed.
+    """
+    groups: Dict[Tuple, List[SweepPoint]] = {}
+    for _, point in pending:
+        key = _prime_key(point)
+        if key is not None:
+            groups.setdefault(key, []).append(point)
+    for (_, _, model, seed, engine), points in groups.items():
+        config_names: List[str] = []
+        for point in points:
+            if point.config not in config_names:
+                config_names.append(point.config)
+        if len(config_names) < 2:
+            continue
+        try:
+            sessions = [
+                get_session(name, seed, engine) for name in config_names
+            ]
+            base = sessions[0]
+            # Sessions profiling with a different IPU group size own a
+            # different profile object; priming them from the base profile
+            # would never be served (identity-checked), so skip them.
+            sessions = [
+                session
+                for session in sessions
+                if session.input_group == base.input_group
+            ]
+            if len(sessions) < 2:
+                continue
+            profile = base.profile(model)
+            jobs = [
+                (profile, variant)
+                for _ in sessions
+                for variant in SPARSITY_VARIANTS
+            ]
+            configs = [
+                session.config
+                for session in sessions
+                for _ in SPARSITY_VARIANTS
+            ]
+            performances = base.cycle_model.run_batch(jobs, configs=configs)
+            stride = len(SPARSITY_VARIANTS)
+            for position, session in enumerate(sessions):
+                start = position * stride
+                session.cycle_model.prime(
+                    jobs[start : start + stride],
+                    performances[start : start + stride],
+                )
+        except Exception:
+            continue  # priming is best-effort; points recompute normally
+
+
 def run_shard(
     shard: SweepShard, cache_dir: Optional[Union[str, Path]] = None
 ) -> List[Tuple[int, ExperimentResult, bool]]:
@@ -642,10 +747,16 @@ def run_shard(
     module-level function so :class:`~concurrent.futures.ProcessPoolExecutor`
     can pickle it).  Cached points are deserialised first; the remaining
     cold points are grouped by (config, seed, engine) onto one
-    :class:`~repro.api.experiment.Experiment` session each -- amortising
-    configuration construction and the workload profile cache -- and
-    mergeable single-model points ride one batched vectorized call per
-    experiment (see :func:`repro.sim.vectorized.simulate_jobs`).
+    :class:`~repro.api.experiment.Experiment` session each -- same-(seed,
+    engine) sessions cloned via
+    :meth:`~repro.api.experiment.Experiment.with_config` so they share one
+    workload-profile cache -- and mergeable single-model points ride one
+    batched vectorized call per experiment (see
+    :func:`repro.sim.vectorized.simulate_jobs`).  Before the per-session
+    loop, points differing only in configuration are precomputed together
+    through the config-fused grid kernel
+    (:func:`repro.sim.vectorized.simulate_grid`) and their sessions primed
+    with the byte-identical slices (see :func:`_prime_sessions`).
 
     Args:
         shard: the shard to execute (see :class:`ShardPlanner`).
@@ -680,8 +791,27 @@ def run_shard(
     sessions: Dict[Tuple[str, int, str], List[Tuple[int, SweepPoint]]] = {}
     for index, point in pending:
         sessions.setdefault(_session_key(point), []).append((index, point))
+
+    # One Experiment per (config, seed, engine); same-(seed, engine)
+    # sessions are cloned via with_config so they share one profile cache.
+    session_cache: Dict[Tuple[str, int, str], Experiment] = {}
+
+    def _get_session(config: str, seed: int, engine: str) -> Experiment:
+        key = (config, seed, engine)
+        session = session_cache.get(key)
+        if session is None:
+            for (_, other_seed, other_engine), other in session_cache.items():
+                if other_seed == seed and other_engine == engine:
+                    session = other.with_config(config)
+                    break
+            else:
+                session = Experiment(config=config, seed=seed, engine=engine)
+            session_cache[key] = session
+        return session
+
+    _prime_sessions(pending, _get_session)
     for (config, seed, engine), members in sessions.items():
-        session = Experiment(config=config, seed=seed, engine=engine)
+        session = _get_session(config, seed, engine)
         buckets: Dict[Optional[Tuple[str, str]], List[Tuple[int, SweepPoint]]] = {}
         for index, point in members:
             buckets.setdefault(_merge_key(point), []).append((index, point))

@@ -57,6 +57,7 @@ from ..api.results import ExperimentResult, SweepResult, _jsonify
 from ..api.sweep import (
     SweepPoint,
     _load_cached,
+    _prime_sessions,
     _store_cached,
     run_sweep,
 )
@@ -595,16 +596,20 @@ class ExperimentService:
         """Compatibility bucket of a request, or ``None`` when standalone.
 
         Only mergeable experiments coalesce; the bucket pins everything
-        except the model list, so a merged run differs from the solo runs
-        only by model concatenation (which the vectorized kernel evaluates
-        elementwise per layer -- hence byte-identical splitting).
+        except the model list *and the hardware configuration*, so a merged
+        run differs from the solo runs only by model concatenation (which
+        the vectorized kernel evaluates elementwise per layer -- hence
+        byte-identical splitting).  Cross-config members of one bucket are
+        partitioned back into per-config subgroups by
+        :meth:`_execute_group`, which first precomputes their shared
+        cycle-model work through the config-fused grid kernel
+        (:func:`repro.sim.vectorized.simulate_grid`).
         """
         if request.experiment not in _MERGEABLE or not request.models:
             return None
         rest = tuple(sorted(dict(request.params).items()))
         return (
             request.experiment,
-            request.config,
             request.seed,
             request.engine,
             repr(rest),
@@ -694,25 +699,71 @@ class ExperimentService:
                         pending.future.set_result((outcome, len(live)))
 
     # -- synchronous execution (dispatch thread) ------------------------
-    def _session(self, request: RunRequest) -> Experiment:
-        """The warm session of (config, seed, engine), created on demand."""
-        key = (request.config, request.seed, request.engine)
+    def _session_for(self, config: str, seed: int, engine: str) -> Experiment:
+        """The warm session of (config, seed, engine), created on demand.
+
+        Same-(seed, engine) sessions are cloned via
+        :meth:`~repro.api.experiment.Experiment.with_config` so they share
+        one workload-profile cache -- the prerequisite for the cross-config
+        fused prime pass (primed entries are identity-checked against the
+        profile object the consuming session resolves).
+        """
+        key = (config, seed, engine)
         with self._sessions_lock:
             session = self._sessions.get(key)
             if session is None:
-                session = Experiment(
-                    config=request.config,
-                    seed=request.seed,
-                    engine=request.engine,
-                )
+                for (_, other_seed, other_engine), other in list(
+                    self._sessions.items()
+                ):
+                    if other_seed == seed and other_engine == engine:
+                        session = other.with_config(config)
+                        break
+                else:
+                    session = Experiment(
+                        config=config, seed=seed, engine=engine
+                    )
                 self._sessions[key] = session
                 self.metrics.set_gauge("sessions", len(self._sessions))
         return session
+
+    def _session(self, request: RunRequest) -> Experiment:
+        """The warm session serving ``request`` (see :meth:`_session_for`)."""
+        return self._session_for(request.config, request.seed, request.engine)
 
     def _execute_group(
         self, group: Sequence[_Pending]
     ) -> List[Union[ExperimentResult, Exception]]:
         """Execute one compatible group synchronously (on the executor).
+
+        The group is partitioned into per-config subgroups (the coalesce
+        key deliberately ignores the configuration).  When more than one
+        config participates, the shared cycle-model work is first
+        precomputed through the config-fused grid kernel and each config's
+        session primed with its byte-identical slice (see
+        :func:`repro.api.sweep._prime_sessions`); each subgroup then runs
+        on its own warm session exactly as before -- so fused and unfused
+        dispatch produce identical results.
+        """
+        subgroups: Dict[str, List[_Pending]] = {}
+        for pending in group:
+            subgroups.setdefault(pending.request.config, []).append(pending)
+        if len(subgroups) > 1:
+            self.metrics.increment("cross_config_groups")
+            _prime_sessions(
+                [(i, p.point) for i, p in enumerate(group)],
+                self._session_for,
+            )
+        computed: Dict[str, Union[ExperimentResult, Exception]] = {}
+        for members in subgroups.values():
+            self._execute_subgroup(members, computed)
+        return [computed[pending.key] for pending in group]
+
+    def _execute_subgroup(
+        self,
+        members: Sequence[_Pending],
+        computed: Dict[str, Union[ExperimentResult, Exception]],
+    ) -> None:
+        """Execute one same-config subgroup into ``computed``.
 
         Requests with identical cache keys are deduplicated (computed
         once, shared); the disk cache (when configured) is probed before
@@ -721,11 +772,10 @@ class ExperimentService:
         back to per-request execution on any merge failure so the
         offending request is identified precisely.
         """
-        session = self._session(group[0].request)
+        session = self._session(members[0].request)
         cache_dir = self.config.cache_dir
-        computed: Dict[str, Union[ExperimentResult, Exception]] = {}
         unique: List[_Pending] = []
-        for pending in group:
+        for pending in members:
             if pending.key in computed or any(
                 p.key == pending.key for p in unique
             ):
@@ -750,7 +800,6 @@ class ExperimentService:
                 outcome = computed.get(pending.key)
                 if isinstance(outcome, ExperimentResult):
                     _store_cached(pending.point, outcome, cache_dir)
-        return [computed[pending.key] for pending in group]
 
     def _run_single(
         self, session: Experiment, pending: _Pending

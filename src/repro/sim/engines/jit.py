@@ -1,0 +1,286 @@
+"""Optional numba-JIT cycle-model engine (``engine="jit"``).
+
+The third speed tier of the simulator stack (scalar reference -> NumPy
+vectorized / config-fused grid -> JIT-compiled native loop).  The engine
+implements the standard :attr:`~repro.sim.engines.EngineSpec.run_jobs` hook
+over the same structure-of-arrays layout as the vectorized kernel
+(:class:`~repro.sim.vectorized.ProfileArrays` plus per-layer hardware-knob
+arrays), but evaluates the mapping equations in a single numba
+``@njit``-compiled per-layer loop: no NumPy temporaries, one pass over the
+batch, C-loop speed on batches too small to amortise array-op dispatch.
+
+The arithmetic mirrors the scalar engine operation-for-operation (integer
+ceil-divisions as ``-(-a // b)``, truncating ``int64`` casts, IEEE-strict
+float order -- numba's default, fastmath stays off), so the engine is held
+**bitwise identical** to the scalar reference by the auto-applied
+conformance suite in ``tests/engines/`` like every other registered
+cycle-model engine.
+
+numba is an *optional* dependency (the ``[jit]`` extra).
+:func:`register_jit_engine` probes for it at import of
+:mod:`repro.sim.engines`:
+
+* numba importable -- the engine registers normally with
+  ``cache_token="jit-v1"`` (its own cache-key namespace, so switching tiers
+  never aliases vectorized results);
+* numba missing -- the name is recorded via
+  :func:`~repro.sim.engines.register_absent_engine`, so ``repro list``
+  shows ``jit  unavailable (pip install 'dbpim-repro[jit]')`` and selecting
+  ``--engine jit`` exits with that hint instead of an import error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__docformat__ = "numpy"
+
+import numpy as np
+
+from . import (
+    EngineSpec,
+    _evaluate_cycle_model,
+    engine_names,
+    register_absent_engine,
+    register_engine,
+)
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "JIT_INSTALL_HINT",
+    "JIT_CACHE_TOKEN",
+    "register_jit_engine",
+]
+
+try:  # pragma: no cover - exercised on numba-equipped interpreters only
+    import numba as _numba
+except ImportError:  # pragma: no cover - the tier-1 container has no numba
+    _numba = None
+
+#: Whether the optional numba dependency imported successfully.
+NUMBA_AVAILABLE = _numba is not None
+
+#: One-line remedy surfaced when the engine is selected but not installed.
+JIT_INSTALL_HINT = "pip install 'dbpim-repro[jit]'"
+
+#: The engine's sweep/serve cache-key contribution.  Versioned separately
+#: from the engine name so a future kernel change can rotate only the JIT
+#: tier's cached results.
+JIT_CACHE_TOKEN = "jit-v1"
+
+#: Lazily built njit kernel (compiled on first dispatch).
+_KERNEL = None
+
+
+def _build_kernel():  # pragma: no cover - requires numba
+    """Compile the per-layer mapping/activity loop with numba."""
+
+    @_numba.njit
+    def kernel(
+        out_channels,
+        reduction,
+        output_positions,
+        activation_count,
+        weight_count,
+        input_active_columns,
+        storage_utilization,
+        binary_zero_ratio,
+        threshold_counts,
+        rows,
+        columns,
+        input_bits,
+        weight_bits,
+        num_macros,
+        weight_sparsity,
+        input_sparsity,
+    ):
+        count = out_channels.shape[0]
+        bins = threshold_counts.shape[1]
+        cycles = np.empty(count, dtype=np.float64)
+        cell_activations = np.empty(count, dtype=np.float64)
+        effective = np.empty(count, dtype=np.float64)
+        post_processing_ops = np.empty(count, dtype=np.float64)
+        ipu_bits = np.empty(count, dtype=np.int64)
+        meta_bytes = np.empty(count, dtype=np.int64)
+        buffer_bytes = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            oc = out_channels[i]
+            col = columns[i]
+            nm = num_macros[i]
+            # filter grouping (map_layer): sparse mode groups filters by
+            # FTA threshold, dense mode packs plain binary filters.
+            if weight_sparsity[i]:
+                iterations = np.int64(0)
+                weighted = np.int64(0)
+                for t in range(bins):
+                    divisor = t if t > 1 else 1
+                    per_macro = col // divisor
+                    if per_macro < 1:
+                        per_macro = np.int64(1)
+                    per_pass = per_macro * nm
+                    hist = threshold_counts[i, t]
+                    iterations += -(-hist // per_pass)
+                    weighted += per_pass * hist
+                if iterations < 1:
+                    iterations = np.int64(1)
+                filter_iterations = iterations
+                # float average then truncating cast, like the numpy
+                # ``np.where(...).astype(np.int64)``
+                filters_per_pass = np.int64(weighted / oc)
+            else:
+                dense = (col // weight_bits[i]) * nm
+                filter_iterations = -(-oc // dense)
+                filters_per_pass = dense
+            # bit-serial cycles per pass (IPU gating): clip(x, 0, bits)
+            if input_sparsity[i]:
+                active = input_active_columns[i]
+                limit = np.float64(input_bits[i])
+                if active < 0.0:
+                    active = 0.0
+                if active > limit:
+                    active = limit
+                cycles_per_pass = active
+            else:
+                cycles_per_pass = np.float64(input_bits[i])
+            # tiling and totals
+            rows_used = reduction[i] if reduction[i] < rows[i] else rows[i]
+            input_tiles = -(-reduction[i] // rows[i])
+            weights_per_pass_cells = col * rows_used * nm
+            total_passes = (
+                filter_iterations * input_tiles * output_positions[i]
+            )
+            layer_cycles = total_passes * cycles_per_pass
+            layer_cells = layer_cycles * weights_per_pass_cells
+            cycles[i] = layer_cycles
+            cell_activations[i] = layer_cells
+            if weight_sparsity[i]:
+                effective[i] = layer_cells * storage_utilization[i]
+                meta_bytes[i] = weight_count[i]
+            else:
+                effective[i] = layer_cells * (1.0 - binary_zero_ratio[i])
+                meta_bytes[i] = 0
+            post_processing_ops[i] = layer_cycles * filters_per_pass
+            ipu_bits[i] = activation_count[i] * input_bits[i]
+            buffer_bytes[i] = (
+                weight_count[i]
+                + activation_count[i]
+                + oc * output_positions[i]
+            )
+        return (
+            cycles,
+            cell_activations,
+            effective,
+            post_processing_ops,
+            ipu_bits,
+            meta_bytes,
+            buffer_bytes,
+        )
+
+    return kernel
+
+
+def _run_jobs_jit(
+    model: Any, jobs, base_configs, variant_configs
+) -> List[Any]:  # pragma: no cover - requires numba
+    """Batched execution hook: one compiled loop over the whole shard."""
+    del base_configs  # the variant flags are already folded in
+    if not jobs:
+        return []
+    from ..vectorized import BatchActivity, concatenate_batches, config_knobs
+
+    global _KERNEL
+    if _KERNEL is None:
+        _KERNEL = _build_kernel()
+    job_arrays = [model._arrays_for(profile) for profile, _ in jobs]
+    lengths = np.array([len(arrays) for arrays in job_arrays], dtype=np.int64)
+    batch = concatenate_batches(job_arrays)
+    knob_rows = [config_knobs(config) for config in variant_configs]
+
+    def _per_layer(index: int, dtype) -> np.ndarray:
+        return np.repeat(
+            np.array([knobs[index] for knobs in knob_rows], dtype=dtype),
+            lengths,
+        )
+
+    (
+        cycles,
+        cell_activations,
+        effective,
+        post_processing_ops,
+        ipu_bits,
+        meta_bytes,
+        buffer_bytes,
+    ) = _KERNEL(
+        batch.out_channels,
+        batch.reduction,
+        batch.output_positions,
+        batch.activation_count,
+        batch.weight_count,
+        batch.input_active_columns,
+        batch.storage_utilization,
+        batch.binary_zero_ratio,
+        batch.threshold_counts,
+        _per_layer(0, np.int64),
+        _per_layer(1, np.int64),
+        _per_layer(2, np.int64),
+        _per_layer(3, np.int64),
+        _per_layer(4, np.int64),
+        _per_layer(5, np.bool_),
+        _per_layer(6, np.bool_),
+    )
+    energy = model.energy_model.layer_energy_arrays(
+        cycles=cycles,
+        cell_activations=cell_activations,
+        adder_tree_ops=cell_activations,
+        post_processing_ops=post_processing_ops,
+        ipu_bits=ipu_bits,
+        meta_rf_bytes=meta_bytes,
+        buffer_bytes=buffer_bytes,
+    )
+    activity = BatchActivity(
+        cycles=cycles,
+        cell_activations=cell_activations,
+        effective_cell_activations=effective,
+        macs=batch.macs,
+        energy=energy,
+    )
+    return model._materialize_jobs(jobs, job_arrays, activity)
+
+
+def register_jit_engine(replace: bool = False) -> bool:
+    """Probe for numba and register (or mark absent) the ``jit`` engine.
+
+    Called once when :mod:`repro.sim.engines` imports; safe to call again
+    (e.g. after installing numba into a live interpreter) -- an already
+    up-to-date registration is left alone unless ``replace`` is set.
+
+    Parameters
+    ----------
+    replace : bool, optional
+        Forwarded to :func:`~repro.sim.engines.register_engine` when numba
+        is available.
+
+    Returns
+    -------
+    bool
+        ``True`` when the engine is registered and usable, ``False`` when
+        numba is missing and the name was recorded as absent instead.
+    """
+    if not NUMBA_AVAILABLE:
+        if "jit" not in engine_names():
+            register_absent_engine("jit", JIT_INSTALL_HINT)
+        return False
+    if "jit" in engine_names() and not replace:
+        return True
+    register_engine(
+        EngineSpec(
+            name="jit",
+            title="numba JIT-compiled per-layer loop (optional [jit] extra)",
+            batch=True,
+            cache_token=JIT_CACHE_TOKEN,
+            run_jobs=_run_jobs_jit,
+            evaluate=_evaluate_cycle_model("jit"),
+        ),
+        replace=replace,
+    )
+    return True

@@ -34,7 +34,7 @@ import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __docformat__ = "numpy"
 
@@ -49,12 +49,15 @@ from ..workloads.profiles import ModelSparsityProfile
 __all__ = [
     "MAX_FTA_THRESHOLD",
     "PROFILE_ARRAYS_CACHE_SIZE",
+    "CONFIG_KNOBS_CACHE_SIZE",
     "ProfileArrays",
     "BatchActivity",
     "profile_arrays",
     "invalidate_profile_arrays",
+    "config_knobs",
     "simulate_layers",
     "concatenate_batches",
+    "simulate_grid",
     "simulate_jobs",
 ]
 
@@ -272,6 +275,73 @@ def invalidate_profile_arrays(
         return 0
 
 
+# ---------------------------------------------------------------------------
+# Per-config hardware-knob memoisation
+# ---------------------------------------------------------------------------
+#: Maximum memoised :func:`config_knobs` entries.  Resolved configurations
+#: are tiny frozen value objects; a sweep grid rarely visits more than a few
+#: dozen distinct ones, so the bound only guards against pathological
+#: config-generating loops.
+CONFIG_KNOBS_CACHE_SIZE = 256
+
+#: ``id(config) -> (config, knobs)``.  Keyed by object identity -- holding
+#: the config alive makes a recycled ``id()`` impossible while the entry
+#: exists -- because hashing a frozen nested dataclass on every lookup costs
+#: more than the extraction it would save.  A miss degrades to the plain
+#: seven-attribute extraction, so equal-but-distinct configs never pay more
+#: than the pre-memo code did.
+_KNOBS_CACHE: "OrderedDict[int, Tuple[DBPIMConfig, Tuple]]" = OrderedDict()
+_KNOBS_CACHE_LOCK = threading.Lock()
+
+
+def config_knobs(
+    config: DBPIMConfig,
+) -> Tuple[int, int, int, int, int, bool, bool]:
+    """Memoised hardware-knob vector of one resolved configuration.
+
+    The batch kernels consume a configuration as seven plain scalars --
+    ``(rows, columns, input_bits, weight_bits, num_macros, weight_sparsity,
+    input_sparsity)`` -- which :func:`simulate_jobs` used to re-extract with
+    seven Python attribute-chasing list comprehensions on every dispatch.
+    The extraction is memoised per live resolved-configuration object
+    (identity-keyed, LRU-bounded by :data:`CONFIG_KNOBS_CACHE_SIZE`,
+    thread-safe), so repeated shard dispatches and warm serve sessions that
+    reuse their config objects skip the O(jobs) Python setup.
+
+    Parameters
+    ----------
+    config : DBPIMConfig
+        The (variant-resolved) hardware configuration.
+
+    Returns
+    -------
+    tuple
+        ``(rows, columns, input_bits, weight_bits, num_macros,
+        weight_sparsity, input_sparsity)`` as native Python scalars.
+    """
+    key = id(config)
+    with _KNOBS_CACHE_LOCK:
+        entry = _KNOBS_CACHE.get(key)
+        if entry is not None and entry[0] is config:
+            _KNOBS_CACHE.move_to_end(key)
+            return entry[1]
+    knobs = (
+        int(config.macro.rows),
+        int(config.macro.columns),
+        int(config.macro.input_bits),
+        int(config.macro.weight_bits),
+        int(config.num_macros),
+        bool(config.weight_sparsity),
+        bool(config.input_sparsity),
+    )
+    with _KNOBS_CACHE_LOCK:
+        _KNOBS_CACHE[key] = (config, knobs)
+        _KNOBS_CACHE.move_to_end(key)
+        while len(_KNOBS_CACHE) > CONFIG_KNOBS_CACHE_SIZE:
+            _KNOBS_CACHE.popitem(last=False)
+    return knobs
+
+
 @dataclass(frozen=True)
 class BatchActivity:
     """Per-layer activity and energy of one vectorized batch.
@@ -308,6 +378,13 @@ class BatchActivity:
 def _ceil_div(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
     """Element-wise ceiling division of non-negative integers."""
     return -(-numerator // denominator)
+
+
+#: ``max(threshold, 1)`` row shared by every grid dispatch (the threshold
+#: axis is a fixed 5-wide constant, no point re-deriving it per call).
+_THRESHOLD_DIVISORS = np.maximum(
+    np.arange(MAX_FTA_THRESHOLD + 1, dtype=np.int64), 1
+)[None, :]
 
 
 def simulate_layers(
@@ -470,10 +547,218 @@ def concatenate_batches(batches: Sequence[ProfileArrays]) -> ProfileArrays:
     )
 
 
+def simulate_grid(
+    arrays: "ProfileArrays",
+    configs: Sequence[DBPIMConfig],
+    energy_model: EnergyModel,
+) -> BatchActivity:
+    """Evaluate ONE flattened profile against a whole config grid.
+
+    The config-fused kernel: instead of replicating the profile once per
+    configuration (the :func:`simulate_jobs` per-job path concatenates
+    ``len(configs)`` copies of the layer arrays and ``np.repeat``-broadcasts
+    the knobs), the profile stays a single ``(layers,)`` batch and the
+    configuration axis becomes the leading dimension of a 2-D
+    ``(config, layer)`` broadcast pass.  Two levels of deduplication make
+    the pass cheaper than its flattened footprint:
+
+    * duplicate *resolved configurations* (a preset grid crossed with the
+      Fig. 7 variants collapses heavily once sparsity flags are applied)
+      are computed once and fan-out by a final gather;
+    * within the surviving unique configurations, the expensive
+      per-threshold histogram reductions (5-wide inner axis) depend only on
+      the macro *geometry* -- ``(rows, columns, input_bits, weight_bits,
+      num_macros)`` -- not on the sparsity flags, so the four variants of
+      one preset share a single geometry pass.
+
+    Every arithmetic step still mirrors :func:`simulate_layers`
+    operation-for-operation, so the result is **bitwise identical** to the
+    per-job path (pinned by ``tests/sim/test_grid.py``).
+
+    Parameters
+    ----------
+    arrays : ProfileArrays
+        One flattened workload profile.
+    configs : sequence of DBPIMConfig
+        The config grid (sparsity flags already resolved to the Fig. 7
+        variant each row should be evaluated under).
+    energy_model : EnergyModel
+        Prices the activity counts (shared across the grid).
+
+    Returns
+    -------
+    BatchActivity
+        Config-major flattened results of length ``len(configs) *
+        len(arrays)``: row ``c * len(arrays) + l`` is layer ``l`` under
+        ``configs[c]`` -- the same layout as
+        ``simulate_jobs([arrays] * len(configs), configs, ...)``.
+
+    Raises
+    ------
+    ValueError
+        If the config grid is empty.
+    """
+    configs = list(configs)
+    if not configs:
+        raise ValueError("simulate_grid requires at least one config")
+    num_layers = len(arrays)
+    knob_rows = [config_knobs(config) for config in configs]
+
+    # --- dedup level 1: unique resolved configs ------------------------
+    unique_index: Dict[Tuple, int] = {}
+    work: List[Tuple] = []
+    inverse = np.empty(len(knob_rows), dtype=np.intp)
+    for position, knobs in enumerate(knob_rows):
+        index = unique_index.get(knobs)
+        if index is None:
+            index = len(work)
+            unique_index[knobs] = index
+            work.append(knobs)
+        inverse[position] = index
+
+    # --- dedup level 2: unique macro geometries ------------------------
+    geometry_index: Dict[Tuple, int] = {}
+    geometries: List[Tuple] = []
+    geo_inverse = np.empty(len(work), dtype=np.intp)
+    for position, knobs in enumerate(work):
+        geometry = knobs[:5]
+        index = geometry_index.get(geometry)
+        if index is None:
+            index = len(geometries)
+            geometry_index[geometry] = index
+            geometries.append(geometry)
+        geo_inverse[position] = index
+
+    rows_g = np.array([g[0] for g in geometries], dtype=np.int64)
+    columns_g = np.array([g[1] for g in geometries], dtype=np.int64)
+    input_bits_g = np.array([g[2] for g in geometries], dtype=np.int64)
+    weight_bits_g = np.array([g[3] for g in geometries], dtype=np.int64)
+    num_macros_g = np.array([g[4] for g in geometries], dtype=np.int64)
+    ws_u = np.array([k[5] for k in work], dtype=bool)[:, None]
+    is_u = np.array([k[6] for k in work], dtype=bool)[:, None]
+
+    out_channels = arrays.out_channels[None, :]
+
+    # --- filter grouping (map_layer), per unique geometry --------------
+    per_macro = np.maximum(
+        columns_g[:, None] // _THRESHOLD_DIVISORS, 1
+    )
+    per_pass = per_macro * num_macros_g[:, None]
+    iterations_sparse = np.maximum(
+        _ceil_div(
+            arrays.threshold_counts[None, :, :], per_pass[:, None, :]
+        ).sum(axis=2),
+        1,
+    )
+    filters_per_pass_sparse = (
+        (per_pass[:, None, :] * arrays.threshold_counts[None, :, :]).sum(
+            axis=2
+        )
+        / out_channels
+    )
+    dense_per_pass = (columns_g // weight_bits_g) * num_macros_g
+    iterations_dense = _ceil_div(out_channels, dense_per_pass[:, None])
+    cycles_sparse = np.clip(
+        arrays.input_active_columns[None, :], 0.0, input_bits_g[:, None]
+    )
+    rows_used = np.minimum(arrays.reduction[None, :], rows_g[:, None])
+    input_tiles = _ceil_div(arrays.reduction[None, :], rows_g[:, None])
+    weights_per_pass_cells = (
+        columns_g[:, None] * rows_used * num_macros_g[:, None]
+    )
+
+    # --- gather to unique configs, apply sparsity flags ----------------
+    filter_iterations = np.where(
+        ws_u, iterations_sparse[geo_inverse], iterations_dense[geo_inverse]
+    )
+    filters_per_pass = np.where(
+        ws_u,
+        filters_per_pass_sparse[geo_inverse],
+        np.broadcast_to(
+            dense_per_pass[geo_inverse][:, None], (len(work), num_layers)
+        ),
+    ).astype(np.int64)
+    cycles_per_pass = np.where(
+        is_u,
+        cycles_sparse[geo_inverse],
+        np.asarray(input_bits_g, dtype=np.float64)[geo_inverse][:, None],
+    )
+
+    # --- tiling, totals, effectiveness (same op order as the 1-D pass) -
+    total_passes = (
+        filter_iterations
+        * input_tiles[geo_inverse]
+        * arrays.output_positions[None, :]
+    )
+    cycles = total_passes * cycles_per_pass
+    cell_activations = cycles * weights_per_pass_cells[geo_inverse]
+    effective = np.where(
+        ws_u,
+        cell_activations * arrays.storage_utilization[None, :],
+        cell_activations * (1.0 - arrays.binary_zero_ratio[None, :]),
+    )
+
+    # --- activity counts priced by the energy model --------------------
+    post_processing_ops = cycles * filters_per_pass
+    ipu_bits = (
+        arrays.activation_count[None, :] * input_bits_g[geo_inverse][:, None]
+    )
+    meta_bytes = np.where(ws_u, arrays.weight_count[None, :], 0)
+    feature_bytes = (
+        arrays.activation_count + arrays.out_channels * arrays.output_positions
+    )
+    energy = energy_model.layer_energy_arrays(
+        cycles=cycles,
+        cell_activations=cell_activations,
+        adder_tree_ops=cell_activations,
+        post_processing_ops=post_processing_ops,
+        ipu_bits=ipu_bits,
+        meta_rf_bytes=meta_bytes,
+        buffer_bytes=np.broadcast_to(
+            (arrays.weight_count + feature_bytes)[None, :],
+            (len(work), num_layers),
+        ),
+    )
+
+    # --- fan the unique rows back out to the requested grid ------------
+    def _expand(values: np.ndarray) -> np.ndarray:
+        return values[inverse].reshape(-1)
+
+    return BatchActivity(
+        cycles=_expand(cycles),
+        cell_activations=_expand(cell_activations),
+        effective_cell_activations=_expand(effective),
+        macs=np.tile(arrays.macs, len(configs)),
+        energy={name: _expand(values) for name, values in energy.items()},
+    )
+
+
+def _concat_activities(activities: Sequence[BatchActivity]) -> BatchActivity:
+    """Concatenate per-segment :class:`BatchActivity` results in order."""
+    if len(activities) == 1:
+        return activities[0]
+    return BatchActivity(
+        cycles=np.concatenate([a.cycles for a in activities]),
+        cell_activations=np.concatenate(
+            [a.cell_activations for a in activities]
+        ),
+        effective_cell_activations=np.concatenate(
+            [a.effective_cell_activations for a in activities]
+        ),
+        macs=np.concatenate([a.macs for a in activities]),
+        energy={
+            name: np.concatenate([a.energy[name] for a in activities])
+            for name in activities[0].energy
+        },
+    )
+
+
 def simulate_jobs(
     job_arrays: Sequence[ProfileArrays],
     job_configs: Sequence[DBPIMConfig],
     energy_model: EnergyModel,
+    *,
+    fuse: bool = True,
 ) -> BatchActivity:
     """Shard-sized batch entry point: many (profile, config) jobs, one pass.
 
@@ -481,10 +766,20 @@ def simulate_jobs(
     :meth:`repro.sim.cycle_model.CycleModel.run_batch`) ride: each job is a
     whole workload profile already flattened to :class:`ProfileArrays`,
     paired with the (variant-resolved) hardware configuration it should be
-    evaluated under.  The jobs are concatenated into one batch, the
-    per-job hardware knobs are broadcast to per-layer arrays, and the whole
-    shard is evaluated by a single :func:`simulate_layers` call -- bitwise
-    identical to evaluating the jobs one at a time.
+    evaluated under.
+
+    By default (``fuse=True``) runs of consecutive jobs that share the
+    *same* :class:`ProfileArrays` object -- the shape every grid dispatch
+    produces, e.g. one model evaluated under the four Fig. 7 variants or a
+    whole preset grid -- are dispatched to the config-fused
+    :func:`simulate_grid` kernel, which never materialises per-config
+    profile copies and deduplicates repeated configurations and macro
+    geometries.  With ``fuse=False`` the original per-job path runs: jobs
+    are concatenated into one batch, the per-job hardware knobs are
+    broadcast to per-layer arrays, and the whole shard is evaluated by a
+    single :func:`simulate_layers` call.  Both paths are bitwise identical
+    to evaluating the jobs one at a time (the unfused path is the pinned
+    reference of ``tests/sim/test_grid.py``).
 
     Parameters
     ----------
@@ -495,6 +790,9 @@ def simulate_jobs(
         resolved to the Fig. 7 variant), aligned with ``job_arrays``.
     energy_model : EnergyModel
         Prices the activity counts (shared across the batch).
+    fuse : bool, optional
+        Route same-profile job runs through the config-fused grid kernel
+        (default).  ``False`` forces the legacy replicate-and-repeat path.
 
     Returns
     -------
@@ -514,28 +812,43 @@ def simulate_jobs(
         )
     if not job_arrays:
         raise ValueError("simulate_jobs requires at least one job")
+    if fuse:
+        activities: List[BatchActivity] = []
+        start = 0
+        total = len(job_arrays)
+        while start < total:
+            stop = start + 1
+            while (
+                stop < total and job_arrays[stop] is job_arrays[start]
+            ):
+                stop += 1
+            activities.append(
+                simulate_grid(
+                    job_arrays[start],
+                    job_configs[start:stop],
+                    energy_model,
+                )
+            )
+            start = stop
+        return _concat_activities(activities)
     lengths = np.array([len(arrays) for arrays in job_arrays], dtype=np.int64)
     batch = concatenate_batches(job_arrays)
+    knob_rows = [config_knobs(config) for config in job_configs]
 
-    def _per_layer(values, dtype) -> np.ndarray:
-        return np.repeat(np.array(values, dtype=dtype), lengths)
+    def _per_layer(index: int, dtype) -> np.ndarray:
+        return np.repeat(
+            np.array([knobs[index] for knobs in knob_rows], dtype=dtype),
+            lengths,
+        )
 
     return simulate_layers(
         batch,
-        rows=_per_layer([c.macro.rows for c in job_configs], np.int64),
-        columns=_per_layer([c.macro.columns for c in job_configs], np.int64),
-        input_bits=_per_layer(
-            [c.macro.input_bits for c in job_configs], np.int64
-        ),
-        weight_bits=_per_layer(
-            [c.macro.weight_bits for c in job_configs], np.int64
-        ),
-        num_macros=_per_layer([c.num_macros for c in job_configs], np.int64),
-        weight_sparsity=_per_layer(
-            [c.weight_sparsity for c in job_configs], bool
-        ),
-        input_sparsity=_per_layer(
-            [c.input_sparsity for c in job_configs], bool
-        ),
+        rows=_per_layer(0, np.int64),
+        columns=_per_layer(1, np.int64),
+        input_bits=_per_layer(2, np.int64),
+        weight_bits=_per_layer(3, np.int64),
+        num_macros=_per_layer(4, np.int64),
+        weight_sparsity=_per_layer(5, bool),
+        input_sparsity=_per_layer(6, bool),
         energy_model=energy_model,
     )

@@ -112,6 +112,36 @@ class TestRun:
         assert "unknown engine" in err
         assert "scalar" in err and "vectorized" in err and "trace" in err
 
+    def test_absent_engine_exits_2_with_install_hint(self, capsys):
+        from repro.sim.engines import jit as jit_module
+
+        if jit_module.NUMBA_AVAILABLE:
+            pytest.skip("numba installed: jit is a real engine here")
+        assert main(["run", "fig7", "--engine", "jit"]) == 2
+        err = capsys.readouterr().err
+        assert "not installed" in err
+        assert jit_module.JIT_INSTALL_HINT in err
+
+    def test_list_reports_engine_availability(self, capsys):
+        from repro.sim.engines import absent_engines
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name, hint in absent_engines().items():
+            assert f"{name}" in out and "unavailable" in out and hint in out
+
+    def test_list_json_reports_engine_availability(self, capsys):
+        from repro.sim.engines import absent_engines, engine_names
+
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in payload["engines"]}
+        for name in engine_names():
+            assert by_name[name]["available"] is True
+        for name, hint in absent_engines().items():
+            assert by_name[name]["available"] is False
+            assert by_name[name]["install_hint"] == hint
+
     def test_program_runs_transformer_workload(self, capsys):
         argv = [
             "run", "program", "--workload", "transformer_tiny",

@@ -39,16 +39,25 @@ class TestShardPlanner:
         planner = ShardPlanner(cache_dir=tmp_path, shards=2)
         assert planner.plan(grid) == planner.plan(grid)
 
-    def test_cold_points_grouped_by_session_key(self):
+    def test_cold_points_grouped_by_seed_and_engine(self):
         grid = build_grid(
             experiments=("table4",),
             configs=("paper-28nm", "dense-baseline"),
             seeds=(0, 1),
         )
-        plan = ShardPlanner(shards=8).plan(grid)
+        plan = ShardPlanner(shards=2).plan(grid)
         for shard in plan.shards:
-            keys = {(p.config, p.seed, p.engine) for p in shard.points}
-            assert len(keys) == 1  # one worker session per shard
+            keys = {(p.seed, p.engine) for p in shard.points}
+            assert len(keys) == 1  # one (seed, engine) worker group per shard
+        # Configs are deliberately mixed within a shard so points differing
+        # only in configuration can fuse onto one grid pass; every distinct
+        # config must ship with the shard, in first-appearance order.
+        mixed = [s for s in plan.shards if len({p.config for p in s.points}) > 1]
+        assert mixed
+        for shard in mixed:
+            shipped = [name for name, _ in shard.configs]
+            seen = list(dict.fromkeys(p.config for p in shard.points))
+            assert shipped == seen
 
     def test_shard_count_respects_target(self):
         grid = build_grid(experiments=("fig7",))  # five single-model points
@@ -102,6 +111,29 @@ class TestExecutorEquality:
             == process.cache_misses
             == len(serial.results)
         )
+
+    def test_cross_config_fused_shard_matches_point_at_a_time(self):
+        # Points differing only in configuration land on one shard and are
+        # precomputed through the config-fused grid kernel (one
+        # simulate_grid pass priming every per-config session); the
+        # split-back results must be byte-identical to executing every
+        # point individually on its own session.
+        grid = build_grid(
+            experiments=("fig7",),
+            models=("alexnet",),
+            configs=(
+                "paper-28nm",
+                "dense-baseline",
+                "weight-sparsity-only",
+                "input-sparsity-only",
+            ),
+            seeds=(0,),
+        )
+        plan = ShardPlanner(shards=1).plan(grid)
+        assert len(plan.shards) == 1  # one (seed, engine) group
+        outcomes = run_shard(plan.shards[0])
+        reference = tuple(run_point(p)[0] for p in grid)
+        assert tuple(r for _, r, _ in sorted(outcomes)) == reference
 
     def test_merged_shard_execution_matches_point_at_a_time(self):
         # One shard holding several single-model fig7 points merges them

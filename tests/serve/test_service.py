@@ -135,6 +135,44 @@ class TestServiceDispatch:
             expected = direct_result(RunRequest("fig7", models=(model,)))
             assert outcome.result.to_json() == expected.to_json()
 
+    def test_cross_config_requests_coalesce_byte_identical(self):
+        """Requests differing only in config share one coalesce bucket,
+        ride the config-fused grid prime, and split back bytewise."""
+
+        configs = ("paper-28nm", "dense-baseline", "weight-sparsity-only")
+
+        async def scenario():
+            service = ExperimentService(
+                ServeConfig(batch_window_s=0.4, hot_cache_size=0)
+            )
+            await service.start()
+            try:
+                tasks = [
+                    asyncio.ensure_future(
+                        service.submit(
+                            RunRequest(
+                                "fig7", models=("alexnet",), config=config
+                            )
+                        )
+                    )
+                    for config in configs
+                ]
+                outcomes = await asyncio.gather(*tasks)
+                return outcomes, service.metrics.snapshot()
+            finally:
+                await service.close()
+
+        outcomes, metrics = asyncio.run(scenario())
+        assert [o.batch_size for o in outcomes] == [len(configs)] * len(
+            configs
+        )
+        assert metrics["counters"].get("cross_config_groups") == 1
+        for config, outcome in zip(configs, outcomes):
+            expected = direct_result(
+                RunRequest("fig7", models=("alexnet",), config=config)
+            )
+            assert outcome.result.to_json() == expected.to_json()
+
     def test_identical_requests_deduplicate_within_batch(self):
         async def scenario():
             service = ExperimentService(
