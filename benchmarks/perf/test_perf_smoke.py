@@ -184,6 +184,44 @@ def test_bench_serve_emits_report(tmp_path):
         assert entry["requests_per_s"] > 0
 
 
+bench_store = _load("bench_store")
+
+
+def test_bench_store_emits_report(tmp_path):
+    output = tmp_path / "BENCH_store.json"
+    code = bench_store.main(
+        ["--points", "24", "--repeats", "1", "--output", str(output)]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert report["benchmark"] == "store"
+    assert report["experiment"] == "table4"
+    assert report["points"] == 24
+    assert report["cpu_count"] >= 1
+    assert report["warm_files_s"] > 0 and report["warm_packed_s"] > 0
+    assert report["keys"]["batched_s"] > 0
+    assert report["warm_packed_speedup"] == (
+        report["warm_files_s"] / report["warm_packed_s"]
+    )
+    assert report["keys_batched_speedup"] == (
+        report["keys"]["per_point_s"] / report["keys"]["batched_s"]
+    )
+    # No timing floors here: 24 points on a shared CI box is noise.  The
+    # committed BENCH_store.json carries the real 2048-point numbers.
+    assert isinstance(report["meets_warm_floor"], bool)
+    assert isinstance(report["meets_keys_floor"], bool)
+
+
+def test_bench_store_rejects_bad_arguments(tmp_path, capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        bench_store.main(["--repeats", "0"])
+    with pytest.raises(SystemExit):
+        bench_store.main(["--points", "0"])
+    capsys.readouterr()
+
+
 def test_bench_serve_rejects_bad_arguments(tmp_path, capsys):
     import pytest
 

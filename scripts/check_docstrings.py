@@ -27,6 +27,7 @@ PACKAGES = (
     "repro.compiler",
     "repro.workloads",
     "repro.serve",
+    "repro.store",
 )
 
 #: Public symbols that must exist *and* be documented -- the load-bearing
@@ -84,6 +85,19 @@ REQUIRED_SYMBOLS = (
     "repro.workloads.fuzz.fuzz_workload",
     "repro.workloads.fuzz.fuzz_corpus",
     "repro.workloads.fuzz.graph_fingerprint",
+    "repro.store.PackedResultStore",
+    "repro.store.PackedResultStore.probe",
+    "repro.store.PackedResultStore.locate",
+    "repro.store.PackedResultStore.get_many",
+    "repro.store.PackedResultStore.append_many",
+    "repro.store.PackedResultStore.rebuild_index",
+    "repro.store.PackedResultStore.ingest_files",
+    "repro.store.PackedStoreError",
+    "repro.store.PackedStoreLockedError",
+    "repro.store.migrate_files_to_packed",
+    "repro.api.sweep.CACHE_BACKENDS",
+    "repro.api.sweep.cache_keys_for_grid",
+    "repro.api.sweep.SweepPoint.cache_key",
 )
 
 

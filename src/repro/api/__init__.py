@@ -69,6 +69,8 @@ from .results import (
     WeightSparsityRow,
 )
 from .sweep import (
+    CACHE_BACKENDS,
+    DEFAULT_CACHE_BACKEND,
     DEFAULT_EXECUTOR,
     EXECUTORS,
     ShardPlan,
@@ -79,6 +81,7 @@ from .sweep import (
     SweepPointError,
     SweepShard,
     build_grid,
+    cache_keys_for_grid,
     run_point,
     run_shard,
     run_sweep,
@@ -124,6 +127,8 @@ __all__ = [
     # sweep service
     "EXECUTORS",
     "DEFAULT_EXECUTOR",
+    "CACHE_BACKENDS",
+    "DEFAULT_CACHE_BACKEND",
     "SweepPoint",
     "SweepShard",
     "ShardPlan",
@@ -132,6 +137,7 @@ __all__ = [
     "SweepJournalLockedError",
     "SweepPointError",
     "build_grid",
+    "cache_keys_for_grid",
     "run_point",
     "run_shard",
     "run_sweep",

@@ -44,7 +44,13 @@ from .experiment import (
     list_experiments,
 )
 from .formatting import format_result, format_sweep
-from .sweep import DEFAULT_EXECUTOR, EXECUTORS, run_sweep
+from .sweep import (
+    CACHE_BACKENDS,
+    DEFAULT_CACHE_BACKEND,
+    DEFAULT_EXECUTOR,
+    EXECUTORS,
+    run_sweep,
+)
 
 __all__ = ["CLIError", "TRACE_ENGINE", "build_parser", "main"]
 
@@ -249,6 +255,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk JSON result cache directory",
     )
     sweep_parser.add_argument(
+        "--cache-backend", choices=CACHE_BACKENDS,
+        default=DEFAULT_CACHE_BACKEND,
+        help="result cache layout inside --cache-dir: 'files' is one JSON "
+        "file per point (legacy), 'packed' is the append-only single-"
+        "artifact store (batched warm path; migrate an existing directory "
+        "with repro.store.migrate_files_to_packed)",
+    )
+    sweep_parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write the sweep result as JSON ('-' for stdout)",
     )
@@ -292,6 +306,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="on-disk JSON result cache shared with 'repro sweep'",
+    )
+    serve_parser.add_argument(
+        "--cache-backend", choices=CACHE_BACKENDS,
+        default=DEFAULT_CACHE_BACKEND,
+        help="layout of --cache-dir: 'files' (one JSON per point) or "
+        "'packed' (append-only store; the hot-cache miss path reads it in "
+        "batch)",
     )
     serve_parser.add_argument(
         "--allow-heavy", action="store_true",
@@ -460,6 +481,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         shards=args.shards,
         journal=args.journal,
         resume=args.resume,
+        cache_backend=args.cache_backend,
     )
     if not args.quiet:
         print(format_sweep(sweep))
@@ -492,6 +514,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         hot_cache_size=args.hot_cache_size,
         hot_cache_ttl_s=args.hot_cache_ttl if args.hot_cache_ttl > 0 else None,
         cache_dir=args.cache_dir,
+        cache_backend=args.cache_backend,
         allow_heavy=args.allow_heavy,
     )
     server = make_server(host=args.host, port=args.port, config=config)

@@ -912,6 +912,7 @@ class Experiment:
         shards: Optional[int] = None,
         journal: Optional[Any] = None,
         resume: bool = False,
+        cache_backend: Optional[str] = None,
     ):
         """Run a sweep grid pinned to this session's config, seed and engine.
 
@@ -938,15 +939,24 @@ class Experiment:
             shards: target shard count.
             journal: path of the append-only ``sweep.jsonl`` run journal.
             resume: restore finished points from ``journal``.
+            cache_backend: ``"files"`` or ``"packed"`` (``None`` for
+                :data:`repro.api.sweep.DEFAULT_CACHE_BACKEND`; see
+                :func:`repro.api.sweep.run_sweep`).
 
         Returns:
             The :class:`~repro.api.results.SweepResult` of the grid.
         """
         from .configs import list_configs, register_config
-        from .sweep import DEFAULT_EXECUTOR, run_sweep as _run_sweep
+        from .sweep import (
+            DEFAULT_CACHE_BACKEND,
+            DEFAULT_EXECUTOR,
+            run_sweep as _run_sweep,
+        )
 
         if executor is None:
             executor = DEFAULT_EXECUTOR
+        if cache_backend is None:
+            cache_backend = DEFAULT_CACHE_BACKEND
         if self.config_name not in list_configs():
             register_config(self.config_name, self.config)
         return _run_sweep(
@@ -962,6 +972,7 @@ class Experiment:
             shards=shards,
             journal=journal,
             resume=resume,
+            cache_backend=cache_backend,
         )
 
 

@@ -77,6 +77,7 @@ from typing import (
 from ..arch.config import DBPIMConfig, SPARSITY_VARIANTS
 from ..sim.cycle_model import DEFAULT_ENGINE
 from ..sim.engines import get_engine, resolve_cycle_model_engine
+from ..store import PackedResultStore, PackedStoreLockedError
 from .configs import config_digest, get_config, register_config
 from .experiment import EXPERIMENTS, Experiment, get_experiment_spec
 from .results import (
@@ -91,6 +92,8 @@ __all__ = [
     "DEFAULT_SWEEP_EXPERIMENTS",
     "EXECUTORS",
     "DEFAULT_EXECUTOR",
+    "CACHE_BACKENDS",
+    "DEFAULT_CACHE_BACKEND",
     "SweepPoint",
     "SweepShard",
     "ShardPlan",
@@ -99,6 +102,7 @@ __all__ = [
     "SweepJournalLockedError",
     "SweepPointError",
     "build_grid",
+    "cache_keys_for_grid",
     "run_point",
     "run_shard",
     "run_sweep",
@@ -125,6 +129,19 @@ EXECUTORS = ("serial", "thread", "process")
 #: visible without shipping); pass ``executor="process"`` for cold
 #: CPU-bound grids on multi-core machines.
 DEFAULT_EXECUTOR = "thread"
+
+#: Selectable sweep cache backends: ``"files"`` is the legacy layout (one
+#: atomic ``{cache_key}.json`` per point), ``"packed"`` is the append-only
+#: single-artifact store (:class:`repro.store.PackedResultStore`) whose
+#: warm path is one index probe plus one batched sequential read for the
+#: whole grid.  Both are keyed by the same content-hash cache keys, so a
+#: directory can be migrated in place
+#: (:func:`repro.store.migrate_files_to_packed`) and the backends produce
+#: byte-identical :class:`~repro.api.results.SweepResult` s.
+CACHE_BACKENDS = ("files", "packed")
+
+#: Cache backend used when none is requested (the legacy per-file layout).
+DEFAULT_CACHE_BACKEND = "files"
 
 
 @dataclass(frozen=True)
@@ -173,20 +190,32 @@ class SweepPoint:
         engines are pinned numerically identical, but keying them
         separately keeps the cache trustworthy even while one of them is
         being modified.)
-        """
-        from .. import __version__
 
-        payload = {
-            "schema_version": SCHEMA_VERSION,
-            "version": __version__,
-            "experiment": self.experiment,
-            "params": self.params,
-            "seed": self.seed,
-            "engine": get_engine(self.engine).cache_token,
-            "config_digest": config_digest(get_config(self.config)),
-        }
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        The key is memoized on the instance after the first call (the
+        point is frozen, so it can never change): the planner, cache path
+        and journal all ask for it, and re-hashing the full configuration
+        digest each time dominated the warm path.  Grids compute keys in
+        one batch via :func:`cache_keys_for_grid`.
+        """
+        memo = self.__dict__.get("_cache_key")
+        if memo is None:
+            from .. import __version__
+
+            payload = {
+                "schema_version": SCHEMA_VERSION,
+                "version": __version__,
+                "experiment": self.experiment,
+                "params": self.params,
+                "seed": self.seed,
+                "engine": get_engine(self.engine).cache_token,
+                "config_digest": config_digest(get_config(self.config)),
+            }
+            canonical = json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            )
+            memo = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_cache_key", memo)
+        return memo
 
 
 class SweepPointError(RuntimeError):
@@ -288,6 +317,70 @@ def build_grid(
     return points
 
 
+def cache_keys_for_grid(points: Sequence[SweepPoint]) -> Tuple[str, ...]:
+    """Compute every point's :meth:`~SweepPoint.cache_key` in one batch.
+
+    Byte-identical to calling ``point.cache_key()`` per point (pinned by
+    the goldens in ``tests/engines/test_cache_keys.py``), but the shared
+    payload pieces are canonicalised **once per distinct value** instead of
+    once per point: the engine cache token, the experiment id and -- the
+    expensive one -- the full configuration digest
+    (:func:`repro.api.configs.config_digest` serialises the entire nested
+    configuration) are each JSON-encoded once per (engine, experiment,
+    config) seen in the grid, and the canonical payload is assembled by
+    string splicing in the exact key order ``json.dumps(...,
+    sort_keys=True)`` would produce.  Each computed key is memoized on its
+    (frozen) point, so later ``point.cache_key()`` calls are lookups.
+    """
+    from .. import __version__
+
+    dumps = json.dumps
+    # json.dumps(payload, sort_keys=True, separators=(",", ":")) emits the
+    # keys alphabetically: config_digest < engine < experiment < params <
+    # schema_version < seed < version.  The splice below reproduces that
+    # byte stream exactly; scalar/string fragments need no separators.
+    schema_seed = ',"schema_version":' + dumps(SCHEMA_VERSION) + ',"seed":'
+    version_tail = ',"version":' + dumps(__version__) + "}"
+    engine_memo: Dict[str, str] = {}
+    config_memo: Dict[str, str] = {}
+    experiment_memo: Dict[str, str] = {}
+    keys: List[str] = []
+    for point in points:
+        memo = point.__dict__.get("_cache_key")
+        if memo is not None:
+            keys.append(memo)
+            continue
+        engine_json = engine_memo.get(point.engine)
+        if engine_json is None:
+            engine_json = dumps(get_engine(point.engine).cache_token)
+            engine_memo[point.engine] = engine_json
+        digest_json = config_memo.get(point.config)
+        if digest_json is None:
+            digest_json = dumps(config_digest(get_config(point.config)))
+            config_memo[point.config] = digest_json
+        experiment_json = experiment_memo.get(point.experiment)
+        if experiment_json is None:
+            experiment_json = dumps(point.experiment)
+            experiment_memo[point.experiment] = experiment_json
+        canonical = (
+            '{"config_digest":'
+            + digest_json
+            + ',"engine":'
+            + engine_json
+            + ',"experiment":'
+            + experiment_json
+            + ',"params":'
+            + dumps(point.params, sort_keys=True, separators=(",", ":"))
+            + schema_seed
+            + dumps(point.seed)
+            + version_tail
+        )
+        key = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        object.__setattr__(point, "_cache_key", key)
+        keys.append(key)
+    return tuple(keys)
+
+
 def _all_models() -> Tuple[str, ...]:
     from ..workloads.models import list_workloads
 
@@ -315,15 +408,18 @@ def _load_cached(
 
     A truncated or otherwise unreadable entry must never brick the sweep:
     it is reported with a :class:`RuntimeWarning` and treated as a miss, so
-    the point is recomputed and the entry atomically overwritten.
+    the point is recomputed and the entry atomically overwritten.  The
+    entry is opened directly -- no ``exists()`` pre-check -- so a hit costs
+    one filesystem lookup instead of two and there is no window for the
+    entry to vanish between the check and the open.
     """
     if cache_dir is None:
         return None
     path = _cache_path(point, cache_dir)
-    if not path.exists():
-        return None
     try:
         return ExperimentResult.load(path)
+    except FileNotFoundError:
+        return None
     except (OSError, ValueError, KeyError, TypeError) as error:
         warnings.warn(
             f"ignoring unreadable sweep-cache entry {path} "
@@ -339,12 +435,21 @@ def _store_cached(
     result: ExperimentResult,
     cache_dir: Optional[Union[str, Path]],
 ) -> None:
-    """Write a point's result to the cache (atomic temp-file + replace)."""
+    """Write a point's result to the cache (atomic temp-file + replace).
+
+    The cache directory is created lazily, only when a write actually
+    fails for lack of it: :func:`run_sweep` creates the directory once up
+    front, so the per-point write path stays a single temp-file+replace
+    instead of paying an extra ``mkdir`` stat per point.
+    """
     if cache_dir is None:
         return
     path = _cache_path(point, cache_dir)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    result.save(path)
+    try:
+        result.save(path)
+    except FileNotFoundError:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        result.save(path)
 
 
 def run_point(
@@ -445,6 +550,12 @@ class ShardPlanner:
        sessions -- and each group is chunked into shards of roughly
        ``total / shards`` points, preserving grid order.
 
+    The warm/cold split costs ONE batched cache probe for the whole grid,
+    not one ``stat`` per point: the packed backend intersects the grid's
+    keys with the store's in-memory index
+    (:meth:`repro.store.PackedResultStore.probe`), the per-file backend
+    lists the cache directory once and matches key stems against it.
+
     Args:
         cache_dir: the sweep's on-disk result cache (``None`` disables the
             warm/cold split; every point plans as cold).
@@ -453,6 +564,9 @@ class ShardPlanner:
             different speeds).
         max_workers: the worker count the sweep will run with (used only to
             derive the default shard count).
+        cache_backend: ``"files"`` (legacy per-file cache) or ``"packed"``
+            (append-only :class:`repro.store.PackedResultStore`); see
+            :data:`CACHE_BACKENDS`.
     """
 
     def __init__(
@@ -460,14 +574,39 @@ class ShardPlanner:
         cache_dir: Optional[Union[str, Path]] = None,
         shards: Optional[int] = None,
         max_workers: Optional[int] = None,
+        cache_backend: str = DEFAULT_CACHE_BACKEND,
     ) -> None:
         if shards is not None and shards <= 0:
             raise ValueError("shards must be positive")
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        if cache_backend not in CACHE_BACKENDS:
+            raise ValueError(
+                f"unknown cache backend {cache_backend!r}; expected one of "
+                f"{CACHE_BACKENDS}"
+            )
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.shards = shards
         self.max_workers = max_workers
+        self.cache_backend = cache_backend
+        self.store: Optional[PackedResultStore] = (
+            PackedResultStore(self.cache_dir)
+            if cache_backend == "packed" and self.cache_dir is not None
+            else None
+        )
+
+    def _probe_cache(self, keys: Sequence[str]) -> frozenset:
+        """The subset of ``keys`` with a cache entry -- one batched probe."""
+        if self.cache_dir is None:
+            return frozenset()
+        if self.store is not None:
+            return self.store.probe(keys)
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return frozenset()
+        stems = {name[:-5] for name in names if name.endswith(".json")}
+        return frozenset(key for key in keys if key in stems)
 
     def _target_shards(self) -> int:
         """The shard count used when none was requested explicitly."""
@@ -489,8 +628,9 @@ class ShardPlanner:
                 matching points are excluded from every shard and reported
                 via :attr:`ShardPlan.journaled`.
         """
-        keys = tuple(point.cache_key() for point in grid)
+        keys = cache_keys_for_grid(grid)
         known = frozenset(journaled_keys or ())
+        present = self._probe_cache(keys)
         journaled: List[int] = []
         # (warm, seed, engine) -> [(grid index, point)]; configs mix inside
         # a group so one worker can fuse the config axis.
@@ -500,10 +640,7 @@ class ShardPlanner:
             if key in known:
                 journaled.append(index)
                 continue
-            warm = (
-                self.cache_dir is not None
-                and (self.cache_dir / f"{key}.json").exists()
-            )
+            warm = key in present
             group_key = (warm, point.seed, point.engine)
             groups.setdefault(group_key, []).append((index, point))
             totals[warm] += 1
@@ -868,6 +1005,21 @@ class SweepJournal:
          "engine": "...", "params": {...}, "cache_hit": false,
          "result": {... ExperimentResult.to_dict() ...}}
 
+    When the sweep runs on the packed cache backend, the result payload --
+    by far the largest part of every line, and already durable in the
+    store the moment the shard finished -- is replaced by a slim
+    ``"kind": "point-ref"`` record carrying the record's store location::
+
+        {"kind": "point-ref", "schema_version": 1, "cache_key": "...",
+         "experiment": "...", "config": "...", "seed": 0,
+         "engine": "...", "params": {...}, "cache_hit": false,
+         "store": {"offset": 1234, "length": 567}}
+
+    Resume resolves every ref through **one** batched store read
+    (:meth:`load` with ``store=``); a ref whose record has since been
+    damaged or dropped is skipped with a warning and the point recomputes,
+    so the completed resume still matches an uninterrupted run.
+
     Points are keyed by their content-hash cache key, so a journal can only
     ever resume points whose experiment, parameters, seed, engine,
     configuration contents and package version all match -- a grid change
@@ -949,16 +1101,27 @@ class SweepJournal:
         except FileNotFoundError:
             pass
 
-    def load(self) -> Dict[str, Tuple[ExperimentResult, bool]]:
+    def load(
+        self, store: Optional[PackedResultStore] = None
+    ) -> Dict[str, Tuple[ExperimentResult, bool]]:
         """Read the journal into ``{cache_key: (result, cache_hit)}``.
 
         Missing files load as empty; malformed or torn lines are skipped
         with a :class:`RuntimeWarning`.  Later entries for the same key win
         (harmless: identical keys imply identical results).
+
+        Args:
+            store: the packed result store slim ``"point-ref"`` records
+                resolve against, in one batched
+                :meth:`~repro.store.PackedResultStore.get_many` read.
+                Refs that cannot be resolved (no store given, or the
+                record is gone/damaged) are skipped with a warning -- the
+                points simply recompute.
         """
-        entries: Dict[str, Tuple[ExperimentResult, bool]] = {}
+        entries: Dict[str, Tuple[Optional[ExperimentResult], bool]] = {}
+        refs: set = set()
         if not self.path.exists():
-            return entries
+            return {}
         with open(self.path, "r", encoding="utf-8") as handle:
             for number, line in enumerate(handle, start=1):
                 line = line.strip()
@@ -974,21 +1137,55 @@ class SweepJournal:
                         stacklevel=2,
                     )
                     continue
-                if payload.get("kind") != "point":
-                    continue
-                try:
-                    result = ExperimentResult.from_dict(payload["result"])
-                    key = payload["cache_key"]
-                except (KeyError, TypeError, ValueError) as error:
+                kind = payload.get("kind")
+                if kind == "point":
+                    try:
+                        result = ExperimentResult.from_dict(payload["result"])
+                        key = str(payload["cache_key"])
+                    except (KeyError, TypeError, ValueError) as error:
+                        warnings.warn(
+                            f"skipping invalid journal entry at line "
+                            f"{number} of {self.path} "
+                            f"({type(error).__name__}: {error})",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        continue
+                    entries[key] = (result, bool(payload.get("cache_hit")))
+                    refs.discard(key)
+                elif kind == "point-ref":
+                    key = payload.get("cache_key")
+                    if not isinstance(key, str):
+                        warnings.warn(
+                            f"skipping invalid journal ref at line {number} "
+                            f"of {self.path} (missing cache_key)",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        continue
+                    entries[key] = (None, bool(payload.get("cache_hit")))
+                    refs.add(key)
+        if refs:
+            fetched = store.get_many(refs) if store is not None else {}
+            for key in refs:
+                result = fetched.get(key)
+                if result is None:
                     warnings.warn(
-                        f"skipping invalid journal entry at line {number} of "
-                        f"{self.path} ({type(error).__name__}: {error})",
+                        f"journal {self.path} references packed store "
+                        f"record {key} that cannot be read"
+                        + ("" if store is not None else " (no store given)")
+                        + "; the point will be recomputed",
                         RuntimeWarning,
                         stacklevel=2,
                     )
-                    continue
-                entries[str(key)] = (result, bool(payload.get("cache_hit")))
-        return entries
+                    del entries[key]
+                else:
+                    entries[key] = (result, entries[key][1])
+        return {
+            key: (result, hit)
+            for key, (result, hit) in entries.items()
+            if result is not None
+        }
 
     def start(self, resume: bool = False) -> None:
         """Begin a journaled run: truncate (fresh run) or touch (resume)."""
@@ -1011,15 +1208,27 @@ class SweepJournal:
     def append(
         self,
         entries: Sequence[Tuple[SweepPoint, str, ExperimentResult, bool]],
+        locations: Optional[Mapping[str, Tuple[int, int]]] = None,
     ) -> None:
         """Append one shard's ``(point, cache_key, result, hit)`` outcomes.
 
         All lines of the shard are written in one call, then flushed and
         fsynced, so a kill can only ever tear the final line -- which
         :meth:`load` skips -- never a finished shard.
+
+        Args:
+            locations: packed-store ``{cache_key: (offset, length)}``
+                record locations.  Entries whose key appears here are
+                journaled as slim ``"point-ref"`` records (the result
+                payload already being durable in the store); entries whose
+                key is absent -- e.g. a store append skipped because a
+                concurrent writer held the pack lock -- fall back to full
+                ``"point"`` records, so the journal stays self-sufficient
+                for exactly the points the store does not hold.
         """
         if not entries:
             return
+        locations = locations or {}
         lines = []
         for point, key, result, hit in entries:
             payload = {
@@ -1032,8 +1241,16 @@ class SweepJournal:
                 "engine": point.engine,
                 "params": point.params,
                 "cache_hit": bool(hit),
-                "result": result.to_dict(),
             }
+            location = locations.get(key)
+            if location is not None:
+                payload["kind"] = "point-ref"
+                payload["store"] = {
+                    "offset": int(location[0]),
+                    "length": int(location[1]),
+                }
+            else:
+                payload["result"] = result.to_dict()
             lines.append(json.dumps(payload, sort_keys=True) + "\n")
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write("".join(lines))
@@ -1057,6 +1274,7 @@ def run_sweep(
     shards: Optional[int] = None,
     journal: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    cache_backend: str = DEFAULT_CACHE_BACKEND,
 ) -> SweepResult:
     """Run a grid of experiment points as a sharded, journaled sweep.
 
@@ -1095,6 +1313,16 @@ def run_sweep(
             counters always report the work *this* invocation performed, so
             a point the killed run cached but did not journal legitimately
             counts as a hit on resume.)
+        cache_backend: ``"files"`` (the legacy one-JSON-file-per-point
+            cache) or ``"packed"`` (the append-only
+            :class:`repro.store.PackedResultStore`: one batched index
+            probe plans the grid, one batched sequential read restores
+            every warm point, one locked batch append per shard persists
+            cold results, and the journal switches to slim store-ref
+            records).  Both backends produce byte-identical results; an
+            existing per-file directory converts in place via
+            :func:`repro.store.migrate_files_to_packed`.  Ignored without
+            ``cache_dir``.
 
     Returns:
         A :class:`SweepResult` with the per-point results in grid order,
@@ -1108,6 +1336,11 @@ def run_sweep(
     if executor not in EXECUTORS:
         raise ValueError(
             f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    if cache_backend not in CACHE_BACKENDS:
+        raise ValueError(
+            f"unknown cache backend {cache_backend!r}; expected one of "
+            f"{CACHE_BACKENDS}"
         )
     if resume and journal is None:
         raise ValueError("resume=True requires a journal path")
@@ -1137,6 +1370,7 @@ def run_sweep(
             max_workers=max_workers,
             executor=executor,
             started=started,
+            cache_backend=cache_backend,
         )
     finally:
         if run_journal is not None:
@@ -1152,14 +1386,19 @@ def _run_sweep_locked(
     max_workers: Optional[int],
     executor: str,
     started: float,
+    cache_backend: str = DEFAULT_CACHE_BACKEND,
 ) -> SweepResult:
     """Body of :func:`run_sweep`, run while holding the journal lock."""
+    planner = ShardPlanner(
+        cache_dir=cache_dir,
+        shards=shards,
+        max_workers=max_workers,
+        cache_backend=cache_backend,
+    )
+    store = planner.store
     restored: Dict[str, Tuple[ExperimentResult, bool]] = {}
     if run_journal is not None and resume:
-        restored = run_journal.load()
-    planner = ShardPlanner(
-        cache_dir=cache_dir, shards=shards, max_workers=max_workers
-    )
+        restored = run_journal.load(store=store)
     plan = planner.plan(grid, journaled_keys=restored.keys())
 
     outcomes: List[Optional[Tuple[ExperimentResult, bool]]] = [None] * len(grid)
@@ -1167,31 +1406,125 @@ def _run_sweep_locked(
         outcomes[index] = restored[plan.cache_keys[index]]
     if run_journal is not None:
         run_journal.start(resume=resume)
+    if cache_dir is not None and store is None:
+        # Per-file backend: create the cache directory once up front so the
+        # per-point write path stays mkdir-free (see _store_cached).
+        Path(cache_dir).mkdir(parents=True, exist_ok=True)
 
     def _finish(
+        points_by_index: Mapping[int, SweepPoint],
+        batch_outcomes: Sequence[Tuple[int, ExperimentResult, bool]],
+        label: str,
+    ) -> None:
+        """Record one finished batch: fill outcomes, persist, journal.
+
+        A "batch" is one executed shard -- or, on the packed backend, the
+        whole warm restore at once, so 10k warm points cost one store
+        append (a no-op), one ``locate`` and ONE fsynced journal write
+        instead of one per shard.
+        """
+        for index, result, hit in batch_outcomes:
+            outcomes[index] = (result, hit)
+        locations = None
+        if store is not None:
+            fresh = [
+                (plan.cache_keys[index], result)
+                for index, result, hit in batch_outcomes
+                if not hit
+            ]
+            try:
+                store.append_many(fresh)
+            except PackedStoreLockedError as error:
+                # Caching is best-effort: a concurrent writer holding the
+                # pack lock must not fail the sweep.  The journal falls
+                # back to full records for exactly these points.
+                warnings.warn(
+                    f"skipping packed-store append for {label} "
+                    f"({error}); journaling the results in full instead",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            if run_journal is not None:
+                locations = store.locate(
+                    plan.cache_keys[index] for index, _, _ in batch_outcomes
+                )
+        if run_journal is not None:
+            run_journal.append(
+                [
+                    (
+                        points_by_index[index],
+                        plan.cache_keys[index],
+                        result,
+                        hit,
+                    )
+                    for index, result, hit in batch_outcomes
+                ],
+                locations=locations,
+            )
+
+    def _finish_shard(
         shard: SweepShard,
         shard_outcomes: Sequence[Tuple[int, ExperimentResult, bool]],
     ) -> None:
-        for index, result, hit in shard_outcomes:
-            outcomes[index] = (result, hit)
-        if run_journal is not None:
-            by_index = dict(zip(shard.indices, shard.points))
-            run_journal.append(
-                [
-                    (by_index[index], plan.cache_keys[index], result, hit)
-                    for index, result, hit in shard_outcomes
-                ]
-            )
+        _finish(
+            dict(zip(shard.indices, shard.points)),
+            shard_outcomes,
+            f"shard {shard.index}",
+        )
 
-    workers = max_workers or max(1, min(len(plan.shards), os.cpu_count() or 1))
+    if store is not None:
+        # Packed backend: the parent restores every warm point through ONE
+        # batched sequential store read; only cold shards go to workers,
+        # and they run cache-less (the parent owns the single pack writer).
+        exec_shards = tuple(s for s in plan.shards if not s.warm)
+        worker_cache_dir: Optional[Union[str, Path]] = None
+        warm_shards = [s for s in plan.shards if s.warm]
+        if warm_shards:
+            warm_points: Dict[int, SweepPoint] = {
+                index: point
+                for shard in warm_shards
+                for index, point in zip(shard.indices, shard.points)
+            }
+            fetched = store.get_many(
+                plan.cache_keys[index] for index in warm_points
+            )
+            hits: List[Tuple[int, ExperimentResult, bool]] = []
+            lost: List[Tuple[int, SweepPoint]] = []
+            for index, point in warm_points.items():
+                result = fetched.get(plan.cache_keys[index])
+                if result is None:
+                    lost.append((index, point))
+                else:
+                    hits.append((index, result, True))
+            _finish(warm_points, hits, "warm restore")
+            if lost:
+                # Records damaged (or truncated away) between planning and
+                # restore recompute exactly like cold points.
+                resolved: Dict[str, DBPIMConfig] = {}
+                for _, point in lost:
+                    if point.config not in resolved:
+                        resolved[point.config] = get_config(point.config)
+                recovery = SweepShard(
+                    index=len(plan.shards),
+                    indices=tuple(index for index, _ in lost),
+                    points=tuple(point for _, point in lost),
+                    warm=False,
+                    configs=tuple(resolved.items()),
+                )
+                _finish_shard(recovery, run_shard(recovery, None))
+    else:
+        exec_shards = plan.shards
+        worker_cache_dir = cache_dir
+
+    workers = max_workers or max(1, min(len(exec_shards), os.cpu_count() or 1))
     inline = (
         executor == "serial"
-        or len(plan.shards) <= 1
+        or len(exec_shards) <= 1
         or (executor == "thread" and workers == 1)
     )
     if inline:
-        for shard in plan.shards:
-            _finish(shard, run_shard(shard, cache_dir))
+        for shard in exec_shards:
+            _finish_shard(shard, run_shard(shard, worker_cache_dir))
     else:
         pool_type = (
             ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
@@ -1199,11 +1532,11 @@ def _run_sweep_locked(
         pool = pool_type(max_workers=workers)
         try:
             futures = {
-                pool.submit(run_shard, shard, cache_dir): shard
-                for shard in plan.shards
+                pool.submit(run_shard, shard, worker_cache_dir): shard
+                for shard in exec_shards
             }
             for future in as_completed(futures):
-                _finish(futures[future], future.result())
+                _finish_shard(futures[future], future.result())
         finally:
             # A failing shard (or Ctrl-C) must not let the rest of the grid
             # drain pointlessly: drop everything not yet started.

@@ -38,6 +38,7 @@ import asyncio
 import functools
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -55,6 +56,8 @@ from typing import (
 from ..api.experiment import EXPERIMENTS, Experiment, get_experiment_spec
 from ..api.results import ExperimentResult, SweepResult, _jsonify
 from ..api.sweep import (
+    CACHE_BACKENDS,
+    DEFAULT_CACHE_BACKEND,
     SweepPoint,
     _load_cached,
     _prime_sessions,
@@ -63,6 +66,7 @@ from ..api.sweep import (
 )
 from ..sim.cycle_model import DEFAULT_ENGINE
 from ..sim.engines import resolve_cycle_model_engine
+from ..store import PackedResultStore, PackedStoreLockedError
 from .cache import HotResultCache
 from .metrics import MetricsRegistry
 
@@ -152,6 +156,12 @@ class ServeConfig:
         cache_dir: optional on-disk result cache shared with the sweep
             service (same content-hash keys); probed on hot-cache misses
             and populated by every computed result.
+        cache_backend: layout of ``cache_dir`` -- ``"files"`` (one JSON per
+            point) or ``"packed"`` (the append-only
+            :class:`repro.store.PackedResultStore`; hot-cache misses read
+            it in one batch per dispatch group and computed results are
+            appended in one batch).  Shared with ``repro sweep
+            --cache-backend``.
         allow_heavy: admit training-based experiments (``table2``; runs for
             minutes and would monopolise the dispatch executor).  Off by
             default for a live service.
@@ -163,6 +173,7 @@ class ServeConfig:
     hot_cache_size: int = 256
     hot_cache_ttl_s: Optional[float] = 300.0
     cache_dir: Optional[Union[str, Path]] = None
+    cache_backend: str = DEFAULT_CACHE_BACKEND
     allow_heavy: bool = False
 
     def __post_init__(self) -> None:
@@ -174,6 +185,11 @@ class ServeConfig:
             raise ValueError("default_timeout_s must be positive")
         if self.hot_cache_size < 0:
             raise ValueError("hot_cache_size must be >= 0")
+        if self.cache_backend not in CACHE_BACKENDS:
+            raise ValueError(
+                f"unknown cache backend {self.cache_backend!r}; expected "
+                f"one of {CACHE_BACKENDS}"
+            )
 
 
 @dataclass(frozen=True)
@@ -379,6 +395,15 @@ class ExperimentService:
             capacity=self.config.hot_cache_size,
             ttl_s=self.config.hot_cache_ttl_s,
         )
+        # One long-lived store instance: the in-memory index makes every
+        # hot-cache-miss probe an in-process set lookup (refreshed only
+        # when pack.index changes on disk).
+        self._store: Optional[PackedResultStore] = (
+            PackedResultStore(self.config.cache_dir)
+            if self.config.cache_backend == "packed"
+            and self.config.cache_dir is not None
+            else None
+        )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._queue: Optional["asyncio.Queue[Any]"] = None
         self._batcher: Optional["asyncio.Task[None]"] = None
@@ -475,7 +500,10 @@ class ExperimentService:
         except RequestValidationError:
             self.metrics.increment("rejected_total")
             raise
-        key = request.cache_key()
+        # One SweepPoint per request: its memoized cache_key serves the hot
+        # cache, the disk cache and the journal without re-hashing.
+        point = request.point()
+        key = point.cache_key()
         cached = self.hot_cache.get(key)
         if cached is not None:
             self.metrics.increment("cache_hits")
@@ -496,7 +524,7 @@ class ExperimentService:
         pending = _Pending(
             request=request,
             key=key,
-            point=request.point(),
+            point=point,
             future=self._loop.create_future(),
             deadline=time.monotonic() + timeout,
             enqueued=start,
@@ -547,7 +575,7 @@ class ExperimentService:
         allowed = {
             "experiments", "models", "configs", "seeds", "max_workers",
             "cache_dir", "params_by_experiment", "engine", "executor",
-            "shards", "journal", "resume",
+            "shards", "journal", "resume", "cache_backend",
         }
         unknown = set(kwargs) - allowed
         if unknown:
@@ -767,26 +795,47 @@ class ExperimentService:
 
         Requests with identical cache keys are deduplicated (computed
         once, shared); the disk cache (when configured) is probed before
-        any simulation; the remaining unique requests are merged into one
+        any simulation -- on the packed backend that is ONE batched
+        :meth:`~repro.store.PackedResultStore.get_many` read for the whole
+        subgroup, the same store a ``repro sweep --cache-backend packed``
+        populates; the remaining unique requests are merged into one
         batched ``Experiment.run`` when there is more than one, falling
         back to per-request execution on any merge failure so the
-        offending request is identified precisely.
+        offending request is identified precisely.  Computed results are
+        written back the same way (one batched, best-effort store append,
+        or one per-file write each).
         """
         session = self._session(members[0].request)
         cache_dir = self.config.cache_dir
-        unique: List[_Pending] = []
+        store = self._store
+        candidates: List[_Pending] = []
         for pending in members:
             if pending.key in computed or any(
-                p.key == pending.key for p in unique
+                p.key == pending.key for p in candidates
             ):
                 continue
-            if cache_dir is not None:
+            candidates.append(pending)
+        unique: List[_Pending] = []
+        if store is not None:
+            store.maybe_refresh()
+            fetched = store.get_many(p.key for p in candidates)
+            for pending in candidates:
+                cached = fetched.get(pending.key)
+                if cached is not None:
+                    computed[pending.key] = cached
+                    self.metrics.increment("disk_cache_hits")
+                else:
+                    unique.append(pending)
+        elif cache_dir is not None:
+            for pending in candidates:
                 cached = _load_cached(pending.point, cache_dir)
                 if cached is not None:
                     computed[pending.key] = cached
                     self.metrics.increment("disk_cache_hits")
-                    continue
-            unique.append(pending)
+                else:
+                    unique.append(pending)
+        else:
+            unique = candidates
         merged: Dict[str, ExperimentResult] = {}
         if len(unique) > 1:
             merged = self._run_merged(session, unique)
@@ -795,7 +844,25 @@ class ExperimentService:
         else:
             for pending in unique:
                 computed[pending.key] = self._run_single(session, pending)
-        if cache_dir is not None:
+        if store is not None:
+            fresh = [
+                (pending.key, computed[pending.key])
+                for pending in unique
+                if isinstance(computed.get(pending.key), ExperimentResult)
+            ]
+            if fresh:
+                try:
+                    store.append_many(fresh)
+                except PackedStoreLockedError as error:
+                    # Persisting is best-effort for a live service: a
+                    # concurrent writer must not fail the request.
+                    warnings.warn(
+                        f"skipping packed-store append ({error}); results "
+                        "served from memory only",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+        elif cache_dir is not None:
             for pending in unique:
                 outcome = computed.get(pending.key)
                 if isinstance(outcome, ExperimentResult):

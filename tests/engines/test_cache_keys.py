@@ -256,6 +256,42 @@ class TestGoldenCacheKeys:
         for name in ("scalar", "vectorized", "trace"):
             assert get_engine(name).cache_token == name
 
+    def test_batched_grid_keys_match_goldens(self, golden_version):
+        """The spliced batch canonicaliser reproduces every golden byte.
+
+        :func:`repro.api.sweep.cache_keys_for_grid` assembles the canonical
+        payload by string splicing (memoizing the per-config digest and
+        per-engine token); this must be indistinguishable from the per-point
+        ``json.dumps(payload, sort_keys=True)`` the goldens were captured
+        from.
+        """
+        import json
+
+        from repro.api.sweep import cache_keys_for_grid
+
+        points = [
+            SweepPoint(
+                experiment=experiment,
+                config=config,
+                seed=seed,
+                engine=engine,
+                params=json.loads(params_json),
+            )
+            for (experiment, config, seed, engine, params_json), _ in GOLDEN_KEYS
+        ]
+        batched = cache_keys_for_grid(points)
+        assert list(batched) == [expected for _, expected in GOLDEN_KEYS]
+        # The batch memoized each key on its point: cache_key() is now a
+        # lookup and still returns the same bytes.
+        assert [p.cache_key() for p in points] == list(batched)
+
+    def test_cache_key_is_memoized_on_the_point(self, golden_version):
+        point = SweepPoint("fig7", params={"models": ["alexnet"]})
+        assert "_cache_key" not in point.__dict__
+        first = point.cache_key()
+        assert point.__dict__["_cache_key"] == first
+        assert point.cache_key() is first
+
     def test_custom_cache_token_rotates_only_its_own_keys(
         self, golden_version
     ):

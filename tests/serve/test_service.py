@@ -366,6 +366,55 @@ class TestServiceCaching:
         assert hits == 1
         assert second.result.to_json() == first.result.to_json()
 
+    def test_packed_store_layer(self, tmp_path):
+        """The hot-cache miss path falls through to the packed store."""
+        from repro.store import DATA_FILENAME, PackedResultStore
+
+        config = ServeConfig(
+            batch_window_s=0.0,
+            hot_cache_size=0,
+            cache_dir=tmp_path,
+            cache_backend="packed",
+        )
+        request = RunRequest("fig7", models=("alexnet",))
+        with ServiceRuntime(config) as runtime:
+            first = runtime.run(request)
+        assert (tmp_path / DATA_FILENAME).exists()  # result packed
+        assert len(PackedResultStore(tmp_path)) == 1
+        # A fresh runtime (hot cache disabled) serves from the store.
+        with ServiceRuntime(config) as runtime:
+            second = runtime.run(request)
+            hits = runtime.metrics()["counters"].get("disk_cache_hits", 0)
+        assert hits == 1
+        assert second.result.to_json() == first.result.to_json()
+
+    def test_packed_store_shared_with_sweep(self, tmp_path):
+        """A sweep-populated pack serves the daemon, and vice versa."""
+        from repro.api import run_sweep
+
+        swept = run_sweep(
+            experiments=("fig7",),
+            models=("alexnet",),
+            cache_dir=tmp_path,
+            executor="serial",
+            cache_backend="packed",
+        )
+        config = ServeConfig(
+            batch_window_s=0.0,
+            hot_cache_size=0,
+            cache_dir=tmp_path,
+            cache_backend="packed",
+        )
+        with ServiceRuntime(config) as runtime:
+            outcome = runtime.run(RunRequest("fig7", models=("alexnet",)))
+            hits = runtime.metrics()["counters"].get("disk_cache_hits", 0)
+        assert hits == 1
+        assert outcome.result.to_json() == swept.results[0].to_json()
+
+    def test_unknown_cache_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown cache backend"):
+            ServeConfig(cache_backend="sqlite")
+
     def test_metrics_snapshot_shape(self):
         with ServiceRuntime(ServeConfig(batch_window_s=0.0)) as runtime:
             runtime.run(RunRequest("fig7", models=("alexnet",)))
