@@ -232,3 +232,39 @@ def test_bench_serve_rejects_bad_arguments(tmp_path, capsys):
     with pytest.raises(SystemExit):
         bench_serve.main(["--concurrency", "0"])
     capsys.readouterr()
+
+
+bench_dist = _load("bench_dist")
+
+
+def test_bench_dist_emits_report(tmp_path):
+    output = tmp_path / "BENCH_dist.json"
+    code = bench_dist.main(
+        [
+            "--models", "alexnet", "mobilenetv2", "resnet18",
+            "--shards", "3",
+            "--workers", "1",
+            "--repeats", "1",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert report["benchmark"] == "dist"
+    assert report["cpu_count"] >= 1
+    assert report["serial_s"] > 0
+    assert report["broker_solo_s"] > 0
+    assert report["broker_fleet_s"] > 0
+    # Only reported after the gates pass, SIGKILL recovery included.
+    assert report["byte_identical"] is True
+    assert report["sigkill_recovery_byte_identical"] is True
+
+
+def test_bench_dist_rejects_bad_arguments(tmp_path, capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        bench_dist.main(["--repeats", "0"])
+    with pytest.raises(SystemExit):
+        bench_dist.main(["--workers", "0"])
+    capsys.readouterr()

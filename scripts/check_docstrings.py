@@ -1,6 +1,6 @@
 """Fail if any public API of ``repro.api`` / ``repro.sim`` /
-``repro.compiler`` / ``repro.workloads`` / ``repro.serve`` lacks a
-docstring.
+``repro.compiler`` / ``repro.workloads`` / ``repro.serve`` /
+``repro.store`` / ``repro.dist`` lacks a docstring.
 
 Run as part of the ``docs`` CI job (and locally before sending a PR):
 
@@ -28,6 +28,7 @@ PACKAGES = (
     "repro.workloads",
     "repro.serve",
     "repro.store",
+    "repro.dist",
 )
 
 #: Public symbols that must exist *and* be documented -- the load-bearing
@@ -98,6 +99,33 @@ REQUIRED_SYMBOLS = (
     "repro.api.sweep.CACHE_BACKENDS",
     "repro.api.sweep.cache_keys_for_grid",
     "repro.api.sweep.SweepPoint.cache_key",
+    "repro.api.sweep.DEFAULT_TRANSPORT",
+    "repro.dist.locks.PidFileLock",
+    "repro.dist.locks.PidFileLock.acquire",
+    "repro.dist.locks.PidFileLock.release",
+    "repro.dist.locks.PidFileLockError",
+    "repro.dist.locks.pid_alive",
+    "repro.dist.transport.ShardTransport",
+    "repro.dist.transport.ShardTransport.lease",
+    "repro.dist.transport.ShardTransport.complete",
+    "repro.dist.transport.ShardTransport.requeue",
+    "repro.dist.transport.ShardLease",
+    "repro.dist.transport.TransportSpec",
+    "repro.dist.transport.TransportError",
+    "repro.dist.transport.WorkerLostError",
+    "repro.dist.transport.SerialTransport",
+    "repro.dist.transport.ThreadTransport",
+    "repro.dist.transport.ProcessTransport",
+    "repro.dist.transport.register_transport",
+    "repro.dist.transport.unregister_transport",
+    "repro.dist.transport.get_transport",
+    "repro.dist.transport.list_transports",
+    "repro.dist.transport.transport_names",
+    "repro.dist.broker.DirectoryBroker",
+    "repro.dist.broker.BrokerTransport",
+    "repro.dist.broker.SweepManifestError",
+    "repro.dist.worker.WorkerConfig",
+    "repro.dist.worker.run_worker",
 )
 
 

@@ -1,0 +1,118 @@
+"""End-to-end smoke test of the distributed sweep fabric (CI ``dist-smoke``).
+
+Runs the whole thing through the real CLI: a serial reference sweep, then
+the same grid under ``repro sweep --transport broker`` with two
+``repro worker`` subprocesses attached -- one of which is SIGKILLed the
+moment it claims a shard lease.  The coordinator must detect the dead
+lease, requeue the shard, finish the sweep, and print a ``--json -``
+payload **byte-identical** to the serial reference.  Run locally with::
+
+    PYTHONPATH=src python scripts/dist_smoke.py
+
+Exit code 0 means every probe passed; any assertion prints the offending
+state and exits non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+TIMEOUT_S = 300
+MODELS = ["alexnet", "mobilenetv2", "resnet18"]
+SHARDS = "3"
+
+
+def _sweep_args(extra: list) -> list:
+    return [
+        sys.executable, "-m", "repro.api.cli", "sweep",
+        "--experiments", "fig7", "--models", *MODELS,
+        "--shards", SHARDS, "--quiet", "--json", "-", *extra,
+    ]
+
+
+def _wait_for_victim_lease(sweep_dir: str, worker_id: str) -> None:
+    """Block until a lease held by ``worker_id`` appears."""
+    leases = os.path.join(sweep_dir, "leases")
+    deadline = time.monotonic() + TIMEOUT_S
+    while time.monotonic() < deadline:
+        if os.path.isdir(leases):
+            for name in os.listdir(leases):
+                try:
+                    with open(os.path.join(leases, name)) as stream:
+                        if json.load(stream).get("worker") == worker_id:
+                            return
+                except (OSError, ValueError):
+                    continue
+        time.sleep(0.01)
+    raise AssertionError(f"{worker_id} never claimed a lease")
+
+
+def main() -> int:
+    """Run the smoke sequence; returns the process exit code."""
+    serial = subprocess.run(
+        _sweep_args(["--transport", "serial"]),
+        capture_output=True, text=True, timeout=TIMEOUT_S,
+    )
+    assert serial.returncode == 0, serial.stderr
+    print(f"serial reference OK ({len(serial.stdout)} bytes of JSON)")
+
+    with tempfile.TemporaryDirectory(prefix="dist-smoke-") as sweep_dir:
+        worker_cmd = [sys.executable, "-m", "repro.api.cli", "worker",
+                      sweep_dir, "--attach-timeout", "120"]
+        victim = subprocess.Popen(
+            worker_cmd + ["--worker-id", "victim"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        coordinator = subprocess.Popen(
+            _sweep_args(
+                ["--transport", "broker", "--sweep-dir", sweep_dir]
+            ),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        survivor = None
+        try:
+            # Kill the victim the instant it claims a shard -- guaranteed
+            # mid-shard, long before a fig7 point finishes -- then reap it
+            # so the coordinator's PID probe sees a dead holder, not a
+            # zombie.
+            _wait_for_victim_lease(sweep_dir, "victim")
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=TIMEOUT_S)
+            assert victim.returncode == -signal.SIGKILL, victim.returncode
+            print("victim worker SIGKILLed mid-shard")
+
+            survivor = subprocess.Popen(
+                worker_cmd + ["--worker-id", "survivor"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            )
+            stdout, stderr = coordinator.communicate(timeout=TIMEOUT_S)
+            assert coordinator.returncode == 0, stderr
+            assert "lost its worker" in stderr, stderr
+            print("coordinator recovered the lost shard (requeue warning seen)")
+
+            assert stdout == serial.stdout, (
+                "distributed JSON differs from the serial reference"
+            )
+            print("distributed result is byte-identical to serial")
+
+            survivor_out, _ = survivor.communicate(timeout=TIMEOUT_S)
+            assert survivor.returncode == 0, survivor_out
+            print(f"survivor worker exited cleanly: {survivor_out.strip()!r}")
+        finally:
+            for process in (victim, survivor, coordinator):
+                if process is not None and process.poll() is None:
+                    process.kill()
+                    process.wait()
+
+    print("dist smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

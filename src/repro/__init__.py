@@ -44,7 +44,7 @@ from .api import (
     run_sweep,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "api",

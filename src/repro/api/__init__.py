@@ -15,10 +15,12 @@ experiments programmatically:
   (:class:`ExperimentResult`, :class:`SweepResult`) with lossless
   ``to_json()`` / ``from_json()`` round-trips;
 * :func:`run_sweep` -- the sharded sweep service: a :class:`ShardPlanner`
-  partitioning grids by cache state, selectable ``process`` / ``thread`` /
-  ``serial`` executor backends, an on-disk JSON result cache keyed by
-  configuration content hashes, and a resumable append-only JSONL run
-  journal (:class:`SweepJournal`);
+  partitioning grids by cache state, pluggable shard transports
+  (``thread`` / ``process`` / ``serial`` local pools plus the distributed
+  ``broker`` fabric driving ``repro worker`` fleets; see
+  :mod:`repro.dist`), an on-disk JSON result cache keyed by configuration
+  content hashes, and a resumable append-only JSONL run journal
+  (:class:`SweepJournal`);
 * :mod:`repro.api.cli` -- the ``repro`` console script built on all of the
   above.
 
@@ -72,6 +74,7 @@ from .sweep import (
     CACHE_BACKENDS,
     DEFAULT_CACHE_BACKEND,
     DEFAULT_EXECUTOR,
+    DEFAULT_TRANSPORT,
     EXECUTORS,
     ShardPlan,
     ShardPlanner,
@@ -85,6 +88,7 @@ from .sweep import (
     run_point,
     run_shard,
     run_sweep,
+    transport_names,
 )
 
 __all__ = [
@@ -127,6 +131,8 @@ __all__ = [
     # sweep service
     "EXECUTORS",
     "DEFAULT_EXECUTOR",
+    "DEFAULT_TRANSPORT",
+    "transport_names",
     "CACHE_BACKENDS",
     "DEFAULT_CACHE_BACKEND",
     "SweepPoint",

@@ -1,6 +1,6 @@
 """The ``repro`` command-line interface.
 
-Three subcommands map the whole evaluation section onto the façade:
+The subcommands map the whole evaluation section onto the façade:
 
 * ``repro list`` -- registered experiments, workloads and config presets;
 * ``repro run fig7 --models resnet18 vgg19 --json out.json`` -- run one
@@ -8,13 +8,20 @@ Three subcommands map the whole evaluation section onto the façade:
   ``repro run program --engine trace`` compiles whole-model programs and
   replays them on the trace simulator, cross-checked against the
   analytical model;
-* ``repro sweep --experiments fig7 --executor process --shards 4
+* ``repro sweep --experiments fig7 --transport process --shards 4
   --cache-dir .cache --journal sweep.jsonl`` -- fan a grid out over the
-  sharded sweep service (process/thread/serial backends, on-disk result
-  caching, append-only JSONL run journal); re-invoking with ``--resume``
-  restores journaled points instead of recomputing them.
+  sharded sweep service (thread/process/serial local transports plus the
+  distributed ``broker`` fabric via ``--transport broker --sweep-dir``;
+  on-disk result caching, append-only JSONL run journal); re-invoking
+  with ``--resume`` restores journaled points instead of recomputing
+  them.  ``--executor`` remains as a deprecated alias of ``--transport``;
+* ``repro worker SWEEP_DIR`` -- attach a stateless worker process to a
+  broker-transport sweep: lease cold shards, execute them, stream the
+  results back as journal fragments; start any number, kill any of them
+  mid-shard, and the coordinator's lease-and-requeue recovery still
+  reproduces the serial result byte-for-byte.
 
-Unknown experiment/workload/preset names exit with code 2 and a
+Unknown experiment/workload/preset/transport names exit with code 2 and a
 "did you mean" suggestion from the registry instead of a traceback.
 
 Installed as a console script via the packaging metadata; also runnable as
@@ -43,11 +50,12 @@ from .experiment import (
     get_experiment_spec,
     list_experiments,
 )
+from ..dist.transport import list_transports, transport_names
 from .formatting import format_result, format_sweep
 from .sweep import (
     CACHE_BACKENDS,
     DEFAULT_CACHE_BACKEND,
-    DEFAULT_EXECUTOR,
+    DEFAULT_TRANSPORT,
     EXECUTORS,
     run_sweep,
 )
@@ -231,10 +239,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads/processes (default: one per shard, capped at CPUs)",
     )
     sweep_parser.add_argument(
-        "--executor", choices=EXECUTORS, default=DEFAULT_EXECUTOR,
-        help="shard executor backend: 'process' for cold CPU-bound grids "
+        "--transport", default=None, metavar="NAME",
+        help="shard transport executing the sweep (default: "
+        f"{DEFAULT_TRANSPORT}): 'process' for cold CPU-bound grids "
         "(bypasses the GIL), 'thread' for warm-cache/I/O-bound re-runs, "
-        "'serial' for debugging; all three produce identical results",
+        "'serial' for debugging, 'broker' to coordinate 'repro worker' "
+        "processes over --sweep-dir; every transport produces identical "
+        "results. Unknown names exit 2 with a suggestion from the "
+        "transport registry",
+    )
+    sweep_parser.add_argument(
+        "--sweep-dir", default=None, metavar="DIR",
+        help="shared coordination directory of a distributed transport "
+        "(required by --transport broker; attach workers with "
+        "'repro worker DIR')",
+    )
+    sweep_parser.add_argument(
+        "--executor", choices=EXECUTORS, default=None,
+        help="deprecated alias of --transport (local backends only)",
     )
     sweep_parser.add_argument(
         "--shards", type=int, default=None, metavar="N",
@@ -317,6 +339,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--allow-heavy", action="store_true",
         help="admit training experiments (table2; minutes-scale runs)",
+    )
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="attach a sweep worker to a broker-transport sweep directory",
+    )
+    worker_parser.add_argument(
+        "sweep_dir", metavar="SWEEP_DIR",
+        help="shared sweep directory published by 'repro sweep --transport "
+        "broker --sweep-dir SWEEP_DIR' (workers may be started first; they "
+        "wait for the manifest)",
+    )
+    worker_parser.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="identifier recorded in leases and result fragments "
+        "(default: worker-<host>-<pid>)",
+    )
+    worker_parser.add_argument(
+        "--heartbeat", type=float, default=2.0, metavar="SECONDS",
+        help="lease heartbeat period while executing a shard; keep it "
+        "well under the coordinator's lease TTL",
+    )
+    worker_parser.add_argument(
+        "--attach-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="how long to wait for the sweep manifest to appear",
+    )
+    worker_parser.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="exit after executing N shards (default: run until the sweep "
+        "completes)",
+    )
+    worker_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-shard progress lines",
     )
     return parser
 
@@ -455,6 +511,11 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_transport(name: str) -> None:
+    """Validate a transport name against the registry (with suggestions)."""
+    _check_name("transport", name, transport_names())
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     # Validate every grid axis eagerly, before any worker starts.
     if args.experiments is not None:
@@ -463,6 +524,29 @@ def _command_sweep(args: argparse.Namespace) -> int:
     _check_configs(args.configs)
     _check_workloads(args.models)
     _check_engine(args.engine, cycle_model_only=True)
+    if args.transport is not None:
+        _check_transport(args.transport)
+    if args.executor is not None and args.transport is not None:
+        if args.executor != args.transport:
+            raise CLIError(
+                f"--executor {args.executor} (deprecated) conflicts with "
+                f"--transport {args.transport}; pass only --transport"
+            )
+    transport = args.transport
+    if transport is not None and any(
+        spec.name == transport and spec.distributed
+        for spec in list_transports()
+    ):
+        if args.sweep_dir is None:
+            raise CLIError(
+                f"--transport {transport} is distributed and needs "
+                "--sweep-dir DIR (the directory 'repro worker' attaches to)"
+            )
+    elif args.sweep_dir is not None:
+        raise CLIError(
+            "--sweep-dir only applies to a distributed transport "
+            "(e.g. --transport broker)"
+        )
     if args.resume and args.journal is None:
         raise CLIError("--resume requires --journal PATH")
     if args.shards is not None and args.shards <= 0:
@@ -482,11 +566,50 @@ def _command_sweep(args: argparse.Namespace) -> int:
         journal=args.journal,
         resume=args.resume,
         cache_backend=args.cache_backend,
+        transport=transport,
+        sweep_dir=args.sweep_dir,
     )
     if not args.quiet:
         print(format_sweep(sweep))
     if args.json is not None:
         _emit_json(sweep.to_json(), args.json)
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    # Imported lazily: the one-shot commands never need the worker loop.
+    from ..dist.broker import SweepManifestError
+    from ..dist.worker import WorkerConfig, run_worker
+
+    if args.heartbeat <= 0:
+        raise CLIError("--heartbeat must be positive")
+    if args.attach_timeout < 0:
+        raise CLIError("--attach-timeout must be >= 0")
+    if args.max_shards is not None and args.max_shards <= 0:
+        raise CLIError("--max-shards must be positive")
+
+    def _report(shard: Any, outcomes: Any) -> None:
+        print(
+            f"repro worker: shard {shard.index} done "
+            f"({len(outcomes)} points)",
+            flush=True,
+        )
+
+    config = WorkerConfig(
+        sweep_dir=args.sweep_dir,
+        heartbeat_s=args.heartbeat,
+        attach_timeout_s=args.attach_timeout,
+        max_shards=args.max_shards,
+        on_shard=None if args.quiet else _report,
+    )
+    if args.worker_id is not None:
+        config.worker_id = args.worker_id
+    try:
+        executed = run_worker(config)
+    except SweepManifestError as error:
+        raise CLIError(str(error)) from error
+    if not args.quiet:
+        print(f"repro worker: executed {executed} shards", flush=True)
     return 0
 
 
@@ -549,6 +672,7 @@ _COMMANDS = {
     "run": _command_run,
     "sweep": _command_sweep,
     "serve": _command_serve,
+    "worker": _command_worker,
 }
 
 

@@ -913,17 +913,21 @@ class Experiment:
         journal: Optional[Any] = None,
         resume: bool = False,
         cache_backend: Optional[str] = None,
+        transport: Optional[str] = None,
+        sweep_dir: Optional[Any] = None,
+        transport_options: Optional[Mapping[str, Any]] = None,
     ):
         """Run a sweep grid pinned to this session's config, seed and engine.
 
         Delegates to :func:`repro.api.sweep.run_sweep` with
         ``configs=(this session's preset,)``, ``seeds=(this session's
-        seed,)`` and this session's cycle-model engine, so the sharded
-        executor backends, the on-disk result cache and the resumable JSONL
-        journal are all available from a session object.  If the session
-        was built from an unregistered configuration instance, it is
-        registered under its content-derived ``custom-<digest>`` name first
-        so shard workers (including process workers, which receive the
+        seed,)`` and this session's cycle-model engine, so the shard
+        transports (local pools and the distributed broker), the on-disk
+        result cache and the resumable JSONL journal are all available
+        from a session object.  If the session was built from an
+        unregistered configuration instance, it is registered under its
+        content-derived ``custom-<digest>`` name first so shard workers
+        (including process and ``repro worker`` workers, which receive the
         configuration with the shard) can resolve it.
 
         Args:
@@ -933,8 +937,7 @@ class Experiment:
             max_workers: worker threads/processes.
             cache_dir: directory for the JSON result cache.
             params_by_experiment: extra per-experiment parameters.
-            executor: ``"process"``, ``"thread"`` or ``"serial"`` (``None``
-                for :data:`repro.api.sweep.DEFAULT_EXECUTOR`; see
+            executor: deprecated alias for ``transport`` (see
                 :func:`repro.api.sweep.run_sweep`).
             shards: target shard count.
             journal: path of the append-only ``sweep.jsonl`` run journal.
@@ -942,19 +945,20 @@ class Experiment:
             cache_backend: ``"files"`` or ``"packed"`` (``None`` for
                 :data:`repro.api.sweep.DEFAULT_CACHE_BACKEND`; see
                 :func:`repro.api.sweep.run_sweep`).
+            transport: shard transport by registry name (``None`` for
+                :data:`repro.api.sweep.DEFAULT_TRANSPORT`; see
+                :func:`repro.api.sweep.run_sweep`).
+            sweep_dir: shared coordination directory of a distributed
+                transport.
+            transport_options: extra keyword arguments for the transport
+                factory.
 
         Returns:
             The :class:`~repro.api.results.SweepResult` of the grid.
         """
         from .configs import list_configs, register_config
-        from .sweep import (
-            DEFAULT_CACHE_BACKEND,
-            DEFAULT_EXECUTOR,
-            run_sweep as _run_sweep,
-        )
+        from .sweep import DEFAULT_CACHE_BACKEND, run_sweep as _run_sweep
 
-        if executor is None:
-            executor = DEFAULT_EXECUTOR
         if cache_backend is None:
             cache_backend = DEFAULT_CACHE_BACKEND
         if self.config_name not in list_configs():
@@ -973,6 +977,9 @@ class Experiment:
             journal=journal,
             resume=resume,
             cache_backend=cache_backend,
+            transport=transport,
+            sweep_dir=sweep_dir,
+            transport_options=transport_options,
         )
 
 

@@ -19,14 +19,19 @@ that fan-out into a small *service*:
   :func:`repro.sim.vectorized.simulate_jobs` shard-sized kernel, and the
   per-point results are split back out (bitwise identical to point-at-a-time
   execution -- the vectorized kernel is elementwise per layer);
-* :func:`run_sweep` dispatches the shards over a selectable executor
-  backend -- ``"process"`` (:class:`~concurrent.futures.ProcessPoolExecutor`,
-  the fast path for cold CPU-bound sweeps: the cycle model holds the GIL in
-  pure-Python mapping code, so threads serialise), ``"thread"`` (warm-cache
-  / I/O-bound sweeps; keeps user-registered presets visible without
-  shipping them) or ``"serial"`` -- and, when a ``journal`` path is given,
-  streams every finished shard to an append-only ``sweep.jsonl``
-  (:class:`SweepJournal`).  An interrupted sweep re-invoked with
+* :func:`run_sweep` dispatches the shards over a pluggable *shard
+  transport* (:mod:`repro.dist`) -- ``"process"``
+  (:class:`~concurrent.futures.ProcessPoolExecutor`, the fast path for
+  cold CPU-bound sweeps: the cycle model holds the GIL in pure-Python
+  mapping code, so threads serialise), ``"thread"`` (warm-cache /
+  I/O-bound sweeps; keeps user-registered presets visible without
+  shipping them), ``"serial"``, or ``"broker"`` (a distributed
+  lease-and-requeue fabric coordinating ``repro worker`` processes over a
+  shared ``sweep_dir``; every transport produces byte-identical results;
+  the historical ``executor=`` knob remains as a deprecated alias) --
+  and, when a ``journal`` path is given, streams every finished shard to
+  an append-only ``sweep.jsonl`` (:class:`SweepJournal`).  An
+  interrupted sweep re-invoked with
   ``resume=True`` restores journaled points without recomputing them and
   reproduces the uninterrupted run's ``results`` byte-for-byte (the whole
   serialised :class:`~repro.api.results.SweepResult` when journaling
@@ -43,7 +48,7 @@ Example::
 
     from repro.api import run_sweep
 
-    sweep = run_sweep(experiments=("fig7",), executor="process",
+    sweep = run_sweep(experiments=("fig7",), transport="process",
                       cache_dir=".repro-cache", journal="sweep.jsonl")
     for result in sweep.filter("fig7"):
         print(result.params["models"], result.rows[0].speedup["hybrid"])
@@ -56,12 +61,8 @@ import json
 import os
 import time
 import warnings
-from concurrent.futures import (
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-    as_completed,
-)
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
 from typing import (
     Any,
@@ -75,6 +76,13 @@ from typing import (
 )
 
 from ..arch.config import DBPIMConfig, SPARSITY_VARIANTS
+from ..dist.locks import PidFileLock, pid_alive
+from ..dist.transport import (
+    DEFAULT_TRANSPORT,
+    ShardTransport,
+    get_transport,
+    transport_names,
+)
 from ..sim.cycle_model import DEFAULT_ENGINE
 from ..sim.engines import get_engine, resolve_cycle_model_engine
 from ..store import PackedResultStore, PackedStoreLockedError
@@ -92,6 +100,7 @@ __all__ = [
     "DEFAULT_SWEEP_EXPERIMENTS",
     "EXECUTORS",
     "DEFAULT_EXECUTOR",
+    "DEFAULT_TRANSPORT",
     "CACHE_BACKENDS",
     "DEFAULT_CACHE_BACKEND",
     "SweepPoint",
@@ -121,13 +130,20 @@ DEFAULT_SWEEP_EXPERIMENTS = (
     "graph",
 )
 
-#: Selectable sweep executor backends (see :func:`run_sweep`).
+#: The historical executor backends, kept as the accepted values of the
+#: deprecated ``executor=`` knob.  Each name is also a registered shard
+#: transport (see :mod:`repro.dist.transport`); new callers should pass
+#: ``transport=`` instead, which additionally accepts distributed
+#: transports such as ``"broker"``.
 EXECUTORS = ("serial", "thread", "process")
 
-#: Executor used when none is requested.  ``"thread"`` is the conservative
-#: default (warm caches deserialise I/O-bound, user-registered presets stay
-#: visible without shipping); pass ``executor="process"`` for cold
-#: CPU-bound grids on multi-core machines.
+#: Backend used when none is requested (the value the deprecated
+#: ``executor=`` knob defaulted to; identical to
+#: :data:`repro.dist.transport.DEFAULT_TRANSPORT`).  ``"thread"`` is the
+#: conservative default (warm caches deserialise I/O-bound,
+#: user-registered presets stay visible without shipping); pass
+#: ``transport="process"`` for cold CPU-bound grids on multi-core
+#: machines.
 DEFAULT_EXECUTOR = "thread"
 
 #: Selectable sweep cache backends: ``"files"`` is the legacy layout (one
@@ -979,18 +995,12 @@ class SweepJournalLockedError(RuntimeError):
 
 
 def _pid_alive(pid: int) -> bool:
-    """Best-effort liveness probe of another process on this host."""
-    if pid <= 0:
-        return False
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except PermissionError:
-        return True  # exists, owned by someone else
-    except OSError:
-        return False
-    return True
+    """Best-effort liveness probe of another process on this host.
+
+    Thin wrapper over the shared :func:`repro.dist.locks.pid_alive` (kept
+    under the historical private name).
+    """
+    return pid_alive(pid)
 
 
 class SweepJournal:
@@ -1029,7 +1039,26 @@ class SweepJournal:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
-        self._locked = False
+        # The exclusive lock is the shared PID-sentinel implementation;
+        # the message templates reproduce this journal's historical
+        # wording byte-for-byte (pinned by the service tests).
+        self._lock = PidFileLock(
+            self.lock_path,
+            error=SweepJournalLockedError,
+            contended=(
+                f"journal {self.path} is locked by a running sweep "
+                "(pid {holder}, lock file {path}); two concurrent "
+                "sweeps must not share one journal"
+            ),
+            stale=(
+                "reclaiming stale sweep-journal lock {path} (holder pid "
+                "{holder} is gone)"
+            ),
+            exhausted=(
+                "could not acquire journal lock {path}: another sweep "
+                "keeps re-creating it"
+            ),
+        )
 
     @property
     def lock_path(self) -> Path:
@@ -1045,61 +1074,21 @@ class SweepJournal:
         :class:`SweepJournalLockedError` is raised *before* any journal
         bytes are written -- two interleaved appenders would corrupt the
         journal for both runs.  A lock whose PID is dead (a killed sweep)
-        is reclaimed with a :class:`RuntimeWarning`.
+        is reclaimed with a :class:`RuntimeWarning`.  (The mechanics are
+        the shared :class:`repro.dist.locks.PidFileLock`.)
 
         Raises:
             SweepJournalLockedError: when a live process holds the lock.
         """
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        for _ in range(2):  # one retry after reclaiming a stale lock
-            try:
-                handle = os.open(
-                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
-                )
-            except FileExistsError:
-                holder = self._lock_holder()
-                if holder is not None and _pid_alive(holder):
-                    raise SweepJournalLockedError(
-                        f"journal {self.path} is locked by a running sweep "
-                        f"(pid {holder}, lock file {self.lock_path}); two "
-                        "concurrent sweeps must not share one journal"
-                    )
-                warnings.warn(
-                    f"reclaiming stale sweep-journal lock {self.lock_path} "
-                    f"(holder pid {holder} is gone)",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                try:
-                    os.unlink(self.lock_path)
-                except FileNotFoundError:
-                    pass
-                continue
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                stream.write(f"{os.getpid()}\n")
-            self._locked = True
-            return
-        raise SweepJournalLockedError(
-            f"could not acquire journal lock {self.lock_path}: another "
-            "sweep keeps re-creating it"
-        )
+        self._lock.acquire(stacklevel=3)
 
     def _lock_holder(self) -> Optional[int]:
         """PID recorded in the lock file (``None`` when unreadable)."""
-        try:
-            return int(self.lock_path.read_text(encoding="utf-8").strip())
-        except (OSError, ValueError):
-            return None
+        return self._lock.holder()
 
     def release(self) -> None:
         """Drop the exclusive lock taken by :meth:`acquire` (idempotent)."""
-        if not self._locked:
-            return
-        self._locked = False
-        try:
-            os.unlink(self.lock_path)
-        except FileNotFoundError:
-            pass
+        self._lock.release()
 
     def load(
         self, store: Optional[PackedResultStore] = None
@@ -1261,6 +1250,60 @@ class SweepJournal:
 # ---------------------------------------------------------------------------
 # The sweep service front door
 # ---------------------------------------------------------------------------
+def _resolve_transport_name(
+    transport: Optional[str], executor: Optional[str], stacklevel: int = 3
+) -> str:
+    """Fold the deprecated ``executor=`` alias into the transport name.
+
+    ``executor=`` keeps its historical contract exactly -- only the three
+    local backend names are accepted, unknown names raise the pinned
+    ``"unknown executor"`` :class:`ValueError` -- but now warns with a
+    :class:`DeprecationWarning` and maps onto the equally-named transport.
+    Passing both knobs with different values is a :class:`ValueError`
+    (silently preferring either would surprise someone mid-migration).
+    """
+    if executor is not None:
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        warnings.warn(
+            "executor= is deprecated; pass transport= instead (the "
+            "executor names map one-to-one onto the local transports)",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        if transport is not None and transport != executor:
+            raise ValueError(
+                f"conflicting execution backends: transport={transport!r} "
+                f"vs deprecated executor={executor!r}; pass only transport="
+            )
+        return executor
+    return transport if transport is not None else DEFAULT_TRANSPORT
+
+
+def _create_transport(
+    transport_name: str,
+    sweep_dir: Optional[Union[str, Path]],
+    transport_options: Optional[Mapping[str, Any]],
+) -> ShardTransport:
+    """Instantiate the named transport with the sweep's transport knobs.
+
+    Raises:
+        ValueError: unknown transport name (the message lists the
+            registered names), or options the transport rejects (e.g.
+            ``sweep_dir=`` with a local transport).
+    """
+    try:
+        spec = get_transport(transport_name)
+    except KeyError as error:
+        raise ValueError(str(error.args[0])) from None
+    options: Dict[str, Any] = dict(transport_options or {})
+    if sweep_dir is not None:
+        options.setdefault("sweep_dir", sweep_dir)
+    return spec.create(**options)
+
+
 def run_sweep(
     experiments: Optional[Sequence[str]] = None,
     models: Optional[Sequence[str]] = None,
@@ -1270,11 +1313,14 @@ def run_sweep(
     cache_dir: Optional[Union[str, Path]] = None,
     params_by_experiment: Optional[Mapping[str, Mapping[str, Any]]] = None,
     engine: str = DEFAULT_ENGINE,
-    executor: str = DEFAULT_EXECUTOR,
+    executor: Optional[str] = None,
     shards: Optional[int] = None,
     journal: Optional[Union[str, Path]] = None,
     resume: bool = False,
     cache_backend: str = DEFAULT_CACHE_BACKEND,
+    transport: Optional[str] = None,
+    sweep_dir: Optional[Union[str, Path]] = None,
+    transport_options: Optional[Mapping[str, Any]] = None,
 ) -> SweepResult:
     """Run a grid of experiment points as a sharded, journaled sweep.
 
@@ -1297,11 +1343,9 @@ def run_sweep(
         params_by_experiment: extra per-experiment parameters.
         engine: cycle-model engine evaluating every point (``"vectorized"``
             by default; part of each point's cache key).
-        executor: ``"process"`` (:class:`ProcessPoolExecutor`; the fast
-            path for cold CPU-bound grids -- the mapping equations hold the
-            GIL, so threads serialise), ``"thread"`` (warm-cache / I/O-bound
-            re-runs) or ``"serial"`` (in-process, for debugging).  All three
-            produce identical results.
+        executor: deprecated alias for ``transport`` (the historical knob;
+            accepts exactly the three local backend names and emits a
+            :class:`DeprecationWarning`).
         shards: target shard count (default: twice the worker count).
         journal: path of the append-only ``sweep.jsonl`` run journal
             (``None`` disables journaling).
@@ -1323,20 +1367,38 @@ def run_sweep(
             existing per-file directory converts in place via
             :func:`repro.store.migrate_files_to_packed`.  Ignored without
             ``cache_dir``.
+        transport: shard transport executing the sweep, by registry name
+            (see :func:`repro.dist.transport.register_transport`):
+            ``"thread"`` (default; warm-cache / I/O-bound re-runs),
+            ``"process"`` (:class:`~concurrent.futures.ProcessPoolExecutor`;
+            the fast path for cold CPU-bound grids -- the mapping
+            equations hold the GIL, so threads serialise), ``"serial"``
+            (in-process, for debugging) or ``"broker"`` (the distributed
+            shared-directory fabric ``repro worker`` processes attach to;
+            requires ``sweep_dir``).  Every transport produces a
+            byte-identical :class:`SweepResult`.
+        sweep_dir: shared coordination directory of a distributed
+            transport (workers attach with ``repro worker <sweep_dir>``).
+        transport_options: extra keyword arguments for the transport
+            factory (e.g. the broker's ``lease_ttl_s`` / ``poll_s`` /
+            ``max_attempts`` / ``coordinator_executes``).
 
     Returns:
         A :class:`SweepResult` with the per-point results in grid order,
-        cache hit/miss counts, and (non-serialised) executor/shard/timing
+        cache hit/miss counts, and (non-serialised) transport/shard/timing
         statistics in :attr:`~repro.api.results.SweepResult.stats`.
 
     Raises:
-        ValueError: on an unknown executor, or ``resume`` without a journal.
+        ValueError: on an unknown executor or transport, invalid transport
+            options, or ``resume`` without a journal.
         SweepPointError: when a grid point fails (identifies the point).
+        repro.dist.WorkerLostError: a distributed shard exhausted its
+            retry budget (its workers kept dying).
     """
-    if executor not in EXECUTORS:
-        raise ValueError(
-            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
-        )
+    transport_name = _resolve_transport_name(transport, executor)
+    transport_obj = _create_transport(
+        transport_name, sweep_dir, transport_options
+    )
     if cache_backend not in CACHE_BACKENDS:
         raise ValueError(
             f"unknown cache backend {cache_backend!r}; expected one of "
@@ -1368,7 +1430,8 @@ def run_sweep(
             cache_dir=cache_dir,
             shards=shards,
             max_workers=max_workers,
-            executor=executor,
+            transport_obj=transport_obj,
+            transport_name=transport_name,
             started=started,
             cache_backend=cache_backend,
         )
@@ -1384,7 +1447,8 @@ def _run_sweep_locked(
     cache_dir: Optional[Union[str, Path]],
     shards: Optional[int],
     max_workers: Optional[int],
-    executor: str,
+    transport_obj: ShardTransport,
+    transport_name: str,
     started: float,
     cache_backend: str = DEFAULT_CACHE_BACKEND,
 ) -> SweepResult:
@@ -1411,6 +1475,16 @@ def _run_sweep_locked(
         # per-point write path stays mkdir-free (see _store_cached).
         Path(cache_dir).mkdir(parents=True, exist_ok=True)
 
+    # Distributed transports run their workers cache-less (the cache
+    # directory may not even exist on the worker's host, and the packed
+    # backend has a single-writer rule); the coordinator persists merged
+    # results itself.  For the per-file backend that means writing each
+    # cold result here in _finish; the packed backend already persists
+    # coordinator-side via store.append_many.
+    persist_files = (
+        transport_obj.distributed and store is None and cache_dir is not None
+    )
+
     def _finish(
         points_by_index: Mapping[int, SweepPoint],
         batch_outcomes: Sequence[Tuple[int, ExperimentResult, bool]],
@@ -1425,6 +1499,10 @@ def _run_sweep_locked(
         """
         for index, result, hit in batch_outcomes:
             outcomes[index] = (result, hit)
+        if persist_files:
+            for index, result, hit in batch_outcomes:
+                if not hit:
+                    _store_cached(points_by_index[index], result, cache_dir)
         locations = None
         if store is not None:
             fresh = [
@@ -1515,39 +1593,37 @@ def _run_sweep_locked(
     else:
         exec_shards = plan.shards
         worker_cache_dir = cache_dir
+        if transport_obj.distributed:
+            # Workers may live on other hosts: they run cache-less and
+            # the coordinator persists (persist_files above).  Warm
+            # shards would be pointless network round-trips -- their
+            # results already sit in the local cache -- so the
+            # coordinator restores them inline, exactly like the packed
+            # backend's warm path.
+            worker_cache_dir = None
+            if cache_dir is not None:
+                exec_shards = tuple(s for s in plan.shards if not s.warm)
+                for shard in (s for s in plan.shards if s.warm):
+                    _finish_shard(shard, run_shard(shard, cache_dir))
 
     workers = max_workers or max(1, min(len(exec_shards), os.cpu_count() or 1))
-    inline = (
-        executor == "serial"
-        or len(exec_shards) <= 1
-        or (executor == "thread" and workers == 1)
+    # The transport owns the execution strategy (inline, pool, or a worker
+    # fleet over a shared directory); run_shard with the worker cache dir
+    # bound is the runner every backend executes (partial keeps it
+    # picklable for the process transport's pool).
+    transport_obj.run(
+        exec_shards,
+        partial(run_shard, cache_dir=worker_cache_dir),
+        _finish_shard,
+        workers,
     )
-    if inline:
-        for shard in exec_shards:
-            _finish_shard(shard, run_shard(shard, worker_cache_dir))
-    else:
-        pool_type = (
-            ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
-        )
-        pool = pool_type(max_workers=workers)
-        try:
-            futures = {
-                pool.submit(run_shard, shard, worker_cache_dir): shard
-                for shard in exec_shards
-            }
-            for future in as_completed(futures):
-                _finish_shard(futures[future], future.result())
-        finally:
-            # A failing shard (or Ctrl-C) must not let the rest of the grid
-            # drain pointlessly: drop everything not yet started.
-            pool.shutdown(wait=True, cancel_futures=True)
 
     completed = [outcome for outcome in outcomes if outcome is not None]
     if len(completed) != len(grid):  # pragma: no cover - defensive
         raise RuntimeError("sweep finished with unexecuted grid points")
     hits = sum(1 for _, hit in completed if hit)
     stats = SweepStats(
-        executor=executor,
+        executor=transport_name,
         max_workers=workers,
         shards=len(plan.shards),
         warm_points=plan.warm_points,

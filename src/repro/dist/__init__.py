@@ -1,0 +1,79 @@
+"""Distributed sweep fabric: shard transports, leases, and workers.
+
+The sweep service (:mod:`repro.api.sweep`) partitions a grid into
+deterministic, journaled :class:`~repro.api.sweep.SweepShard` s -- exactly
+the unit a multi-host work queue needs.  This package is the execution
+layer behind it:
+
+* :mod:`repro.dist.locks` -- the shared PID-sentinel exclusive-lock
+  utility (stale-holder reclaim with a :class:`RuntimeWarning`) that the
+  sweep journal, the packed result store and the broker's shard leases are
+  all built from;
+* :mod:`repro.dist.transport` -- the :class:`ShardTransport` protocol
+  (``lease`` / ``heartbeat`` / ``complete`` / ``requeue`` lifecycle,
+  per-shard attempt counts, a typed :class:`WorkerLostError` when the
+  retry budget runs out) plus the transport registry and the three local
+  adapters (``serial`` / ``thread`` / ``process``) that re-implement the
+  historical executor backends byte-identically;
+* :mod:`repro.dist.broker` -- the first distributed transport: a
+  :class:`DirectoryBroker` coordinating stateless workers over a shared
+  sweep directory (pickled shard task files, PID+heartbeat-stamped lease
+  sentinels, atomically-renamed journal-fragment results merged
+  deterministically by the coordinator);
+* :mod:`repro.dist.worker` -- the ``repro worker`` protocol: attach to a
+  sweep directory, lease cold shards, execute them through the existing
+  :func:`repro.api.sweep.run_shard`, stream results back as fragments,
+  heartbeat while busy, repeat until the sweep completes.
+
+A worker SIGKILLed mid-shard is recovered by lease expiry -> requeue
+(bounded by ``max_attempts``), and an N-worker sweep reproduces the serial
+transport's :class:`~repro.api.results.SweepResult` byte-for-byte -- see
+``docs/distributed.md``.
+"""
+
+from .locks import PidFileLock, PidFileLockError, pid_alive
+from .transport import (
+    DEFAULT_TRANSPORT,
+    LocalTransport,
+    ProcessTransport,
+    SerialTransport,
+    ShardLease,
+    ShardOutcomes,
+    ShardTransport,
+    ThreadTransport,
+    TransportError,
+    WorkerLostError,
+    get_transport,
+    list_transports,
+    register_transport,
+    transport_names,
+    unregister_transport,
+)
+from .broker import BrokerTransport, DirectoryBroker, SweepManifestError
+from .worker import WorkerConfig, run_worker
+
+__all__ = [
+    "PidFileLock",
+    "PidFileLockError",
+    "pid_alive",
+    "DEFAULT_TRANSPORT",
+    "ShardLease",
+    "ShardOutcomes",
+    "ShardTransport",
+    "LocalTransport",
+    "SerialTransport",
+    "ThreadTransport",
+    "ProcessTransport",
+    "TransportError",
+    "WorkerLostError",
+    "get_transport",
+    "list_transports",
+    "register_transport",
+    "transport_names",
+    "unregister_transport",
+    "BrokerTransport",
+    "DirectoryBroker",
+    "SweepManifestError",
+    "WorkerConfig",
+    "run_worker",
+]

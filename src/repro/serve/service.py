@@ -576,6 +576,7 @@ class ExperimentService:
             "experiments", "models", "configs", "seeds", "max_workers",
             "cache_dir", "params_by_experiment", "engine", "executor",
             "shards", "journal", "resume", "cache_backend",
+            "transport", "sweep_dir", "transport_options",
         }
         unknown = set(kwargs) - allowed
         if unknown:

@@ -109,18 +109,14 @@ class PackedStoreLockedError(PackedStoreError):
 
 
 def _pid_alive(pid: int) -> bool:
-    """Best-effort liveness probe of another process on this host."""
-    if pid <= 0:
-        return False
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except PermissionError:
-        return True  # exists, owned by someone else
-    except OSError:
-        return False
-    return True
+    """Best-effort liveness probe of another process on this host.
+
+    Thin wrapper over the shared :func:`repro.dist.locks.pid_alive` (kept
+    under the historical private name).
+    """
+    from ..dist.locks import pid_alive
+
+    return pid_alive(pid)
 
 
 class PackedResultStore:
@@ -137,10 +133,31 @@ class PackedResultStore:
     """
 
     def __init__(self, directory: Union[str, Path]) -> None:
+        from ..dist.locks import PidFileLock
+
         self.directory = Path(directory)
         self._entries: Optional[Dict[str, Tuple[int, int]]] = None
         self._indexed_bytes = 0
         self._index_sig: Optional[Tuple[int, int]] = None
+        # The writer lock is the shared PID-sentinel implementation; the
+        # message templates reproduce this store's historical wording
+        # byte-for-byte (pinned by the store tests).
+        self._lock = PidFileLock(
+            self.lock_path,
+            error=PackedStoreLockedError,
+            contended=(
+                f"pack {self.directory} is being written by a live "
+                "process (pid {holder}, lock file {path})"
+            ),
+            stale=(
+                "reclaiming stale pack lock {path} (holder pid {holder} "
+                "is gone)"
+            ),
+            exhausted=(
+                "could not acquire pack lock {path}: another writer "
+                "keeps re-creating it"
+            ),
+        )
 
     # -- paths ----------------------------------------------------------
     @property
@@ -443,54 +460,22 @@ class PackedResultStore:
     def _acquire_lock(self) -> None:
         """Take the exclusive writer lock (PID sentinel, ``O_EXCL``).
 
+        Delegates to the shared :class:`repro.dist.locks.PidFileLock`
+        (stale locks from dead writers are reclaimed with a
+        :class:`RuntimeWarning`).
+
         Raises:
             PackedStoreLockedError: a live process holds the lock.
         """
-        self.directory.mkdir(parents=True, exist_ok=True)
-        for _ in range(2):  # one retry after reclaiming a stale lock
-            try:
-                handle = os.open(
-                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
-                )
-            except FileExistsError:
-                holder = self._lock_holder()
-                if holder is not None and _pid_alive(holder):
-                    raise PackedStoreLockedError(
-                        f"pack {self.directory} is being written by a live "
-                        f"process (pid {holder}, lock file {self.lock_path})"
-                    )
-                warnings.warn(
-                    f"reclaiming stale pack lock {self.lock_path} "
-                    f"(holder pid {holder} is gone)",
-                    RuntimeWarning,
-                    stacklevel=4,
-                )
-                try:
-                    os.unlink(self.lock_path)
-                except FileNotFoundError:
-                    pass
-                continue
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                stream.write(f"{os.getpid()}\n")
-            return
-        raise PackedStoreLockedError(
-            f"could not acquire pack lock {self.lock_path}: another writer "
-            "keeps re-creating it"
-        )
+        self._lock.acquire(stacklevel=5)
 
     def _lock_holder(self) -> Optional[int]:
         """PID recorded in the lock file (``None`` when unreadable)."""
-        try:
-            return int(self.lock_path.read_text(encoding="utf-8").strip())
-        except (OSError, ValueError):
-            return None
+        return self._lock.holder()
 
     def _release_lock(self) -> None:
         """Drop the writer lock (idempotent)."""
-        try:
-            os.unlink(self.lock_path)
-        except FileNotFoundError:
-            pass
+        self._lock.release()
 
     def append_many(
         self, entries: Sequence[Tuple[str, Any]]
